@@ -1,0 +1,39 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one table/figure from the paper's
+evaluation (see DESIGN.md's experiment index).  pytest-benchmark times
+the *simulation wall clock*; the numbers that matter — the simulated
+latencies, bandwidths and runtimes — are printed as paper-style tables
+and attached to ``benchmark.extra_info`` for machine consumption.
+
+Run:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render a fixed-width table like the paper's evaluation tables."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in cells:
+        print("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+
+
+def fmt_us(seconds: float) -> str:
+    return f"{seconds * 1e6:.2f}"
+
+
+def fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.2f}"
+
+
+def fmt_gbps(bps: float) -> str:
+    return f"{bps / 1e9:.1f}"

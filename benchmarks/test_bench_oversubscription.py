@@ -1,0 +1,88 @@
+"""E11 (extension) — sensitivity to fabric oversubscription.
+
+The paper's 705 Gb/s assumes a single full-bisection switch.  This
+ablation re-runs the E3 all-to-all read workload on a 3-rack topology
+with progressively oversubscribed uplinks, quantifying how much of
+RStore's aggregate-bandwidth story depends on that fabric assumption —
+the kind of deployment question a downstream adopter asks first.
+"""
+
+from repro.cluster import build_cluster
+from repro.core import RStoreConfig
+from repro.simnet.config import GiB, MiB, NetworkConfig
+
+from benchmarks.conftest import fmt_gbps, print_table
+
+MACHINES = 12
+RACKS = 3
+PER_CLIENT_REAL = 8 * MiB
+WIRE_SCALE = 16
+SWEEP = [1.0, 2.0, 4.0]
+
+
+def run_one(oversubscription: float) -> float:
+    cluster = build_cluster(
+        num_machines=MACHINES,
+        config=RStoreConfig(stripe_size=1 * MiB),
+        net_config=NetworkConfig(racks=RACKS,
+                                 oversubscription=oversubscription),
+        server_capacity=1 * GiB,
+    )
+    sim = cluster.sim
+    region_size = MACHINES * PER_CLIENT_REAL
+    moved = {"bytes": 0}
+
+    def reader(host, desc):
+        client = cluster.client(host)
+        mapping = yield from client.map("bw")
+        local = yield from client.alloc_local(region_size)
+
+        def one(stripe):
+            yield from mapping.read_into(
+                local, local.addr + stripe.index * desc.stripe_size,
+                stripe.index * desc.stripe_size, stripe.length,
+                wire_scale=WIRE_SCALE,
+            )
+            moved["bytes"] += stripe.length * WIRE_SCALE
+
+        procs = [sim.process(one(s)) for s in desc.stripes
+                 if s.host_id != host]
+        yield sim.all_of(procs)
+
+    def app():
+        desc = yield from cluster.client(0).alloc("bw", region_size)
+        for host in range(MACHINES):
+            yield from cluster.client(host).map("bw")
+        t0 = sim.now
+        procs = [sim.process(reader(h, desc)) for h in range(MACHINES)]
+        yield sim.all_of(procs)
+        return moved["bytes"] * 8 / (sim.now - t0)
+
+    return cluster.run_app(app())
+
+
+def run_experiment():
+    return [(o, run_one(o)) for o in SWEEP]
+
+
+def test_e11_oversubscription(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table(
+        f"E11 (extension): all-to-all read bandwidth, {MACHINES} machines "
+        f"in {RACKS} racks",
+        ["uplink oversubscription", "aggregate (Gb/s)", "vs full bisection"],
+        [
+            [f"{o:.0f}:1", fmt_gbps(bw), f"{bw / rows[0][1]:.2f}x"]
+            for o, bw in rows
+        ],
+    )
+    benchmark.extra_info["rows"] = [
+        {"oversubscription": o, "aggregate_gbps": bw / 1e9} for o, bw in rows
+    ]
+    full, half, quarter = (bw for _o, bw in rows)
+    # full bisection across racks matches the single-switch story
+    assert full / 1e9 > 450
+    # cross-rack traffic dominates all-to-all: throughput degrades with
+    # the uplink, approaching 1/oversubscription
+    assert half < 0.75 * full
+    assert quarter < 0.75 * half

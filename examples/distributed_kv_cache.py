@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""A serverless distributed KV cache on the memory-like API.
+
+The hash table lives entirely in RStore regions: gets are optimistic
+one-sided reads, puts lock slots with remote compare-and-swap.  No
+machine runs any cache server code — the memory servers' CPUs stay
+idle while four clients hammer the shared table.  A memcached-style
+sockets server handles the same workload for comparison.
+
+Run:  python examples/distributed_kv_cache.py
+"""
+
+from repro.baselines import TcpKvClient, TcpKvServer
+from repro.cluster import build_cluster
+from repro.core import RStoreConfig
+from repro.kv import RKVStore
+from repro.simnet.config import KiB, MiB
+
+MACHINES = 5
+OPS_PER_CLIENT = 100
+
+
+def main():
+    cluster = build_cluster(
+        num_machines=MACHINES,
+        config=RStoreConfig(stripe_size=256 * KiB),
+        server_capacity=64 * MiB,
+    )
+    sim = cluster.sim
+
+    def rstore_worker(host, table_name, done):
+        view = yield from RKVStore.open(cluster.client(host), table_name)
+        for i in range(OPS_PER_CLIENT):
+            key = f"h{host}-{i % 20}".encode()
+            if i % 4 == 0:
+                yield from view.put(key, f"value-{i}".encode())
+            else:
+                yield from view.get(key)
+        done.append(host)
+
+    def run_rstore():
+        creator = cluster.client(1)
+        store = yield from RKVStore.create(creator, "cache", slots=1024)
+        yield from store.put(b"warm", b"up")
+        done = []
+        t0 = sim.now
+        procs = [
+            sim.process(rstore_worker(h, "cache", done))
+            for h in (1, 2, 3, 4)
+        ]
+        yield sim.all_of(procs)
+        return 4 * OPS_PER_CLIENT / (sim.now - t0)
+
+    def tcp_worker(client, done):
+        for i in range(OPS_PER_CLIENT):
+            key = f"c{client.host_id}-{i % 20}".encode()
+            if i % 4 == 0:
+                yield from client.put(key, f"value-{i}".encode())
+            else:
+                yield from client.get(key)
+        done.append(client.host_id)
+
+    def run_tcp():
+        server = TcpKvServer(cluster, host_id=0)
+        clients = []
+        for host in (1, 2, 3, 4):
+            clients.append(
+                (yield from TcpKvClient(cluster, host).connect(server))
+            )
+        done = []
+        t0 = sim.now
+        procs = [sim.process(tcp_worker(c, done)) for c in clients]
+        yield sim.all_of(procs)
+        return 4 * OPS_PER_CLIENT / (sim.now - t0)
+
+    rstore_ops = cluster.run_app(run_rstore())
+    idle = all(
+        cluster.net.host(h).cpu.busy_seconds < 1e-2
+        for h in range(MACHINES)
+        if h != 1
+    )
+    tcp_ops = cluster.run_app(run_tcp())
+
+    print(f"RStore KV (one-sided) : {rstore_ops / 1e3:7.1f} kops/s "
+          f"(server CPUs idle: {idle})")
+    print(f"sockets KV (memcached): {tcp_ops / 1e3:7.1f} kops/s "
+          "(every op crosses the server CPU)")
+    print(f"speedup               : {rstore_ops / tcp_ops:7.2f}x")
+
+
+if __name__ == "__main__":
+    main()

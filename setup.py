@@ -1,0 +1,7 @@
+"""Setup shim: the offline environment lacks the `wheel` package, so
+editable installs must go through the legacy setuptools path
+(`pip install -e . --no-build-isolation`), which needs a setup.py."""
+
+from setuptools import setup
+
+setup()

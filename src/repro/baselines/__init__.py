@@ -1,0 +1,17 @@
+"""Comparator systems the paper measures against.
+
+* :mod:`repro.baselines.tcp_store` — a sockets-based in-memory store
+  (two-sided request/response through the server CPU), the classic
+  pre-RDMA design point for E2/E4.
+* The graph and sort comparators live with their applications
+  (:mod:`repro.graph.baseline`, :mod:`repro.sort.terasort`).
+"""
+
+from repro.baselines.tcp_store import (
+    TcpKvClient,
+    TcpKvServer,
+    TcpMemoryClient,
+    TcpMemoryServer,
+)
+
+__all__ = ["TcpKvClient", "TcpKvServer", "TcpMemoryClient", "TcpMemoryServer"]

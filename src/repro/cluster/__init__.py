@@ -1,0 +1,5 @@
+"""One-call testbed construction for experiments and examples."""
+
+from repro.cluster.builder import Cluster, build_cluster
+
+__all__ = ["Cluster", "build_cluster"]

@@ -1,0 +1,133 @@
+"""Build a simulated RStore deployment in one call.
+
+``build_cluster(12)`` reproduces the paper's testbed shape: twelve
+machines on one FDR switch, a master on machine 0, a memory server on
+every machine, and clients wherever the application runs.  The call
+boots everything inside the simulation (charging realistic startup
+costs) and returns with the cluster ready at some simulated time > 0;
+experiments measure deltas from there.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.client import RStoreClient
+from repro.core.config import RStoreConfig
+from repro.core.master import Master
+from repro.core.server import MemoryServer
+from repro.net.tcp import TcpStack
+from repro.rdma.cm import ConnectionManager
+from repro.rdma.nic import RNic
+from repro.simnet.config import NetworkConfig
+from repro.simnet.kernel import Simulator
+from repro.simnet.topology import Network
+
+__all__ = ["Cluster", "build_cluster"]
+
+
+class Cluster:
+    """A booted testbed: simulator, fabric, store services, clients."""
+
+    def __init__(self, sim: Simulator, net: Network, cm: ConnectionManager,
+                 config: RStoreConfig):
+        self.sim = sim
+        self.net = net
+        self.cm = cm
+        self.config = config
+        self.nics: list[RNic] = []
+        self.tcp_stacks: list[TcpStack] = []
+        self.master: Optional[Master] = None
+        self.servers: dict[int, MemoryServer] = {}
+        self.clients: dict[int, RStoreClient] = {}
+        self.boot_time: float = 0.0
+
+    @property
+    def num_machines(self) -> int:
+        return len(self.net)
+
+    def nic(self, host_id: int) -> RNic:
+        return self.nics[host_id]
+
+    def client(self, host_id: int) -> RStoreClient:
+        """The (already started) RStore client on *host_id*."""
+        return self.clients[host_id]
+
+    def server(self, host_id: int) -> MemoryServer:
+        return self.servers[host_id]
+
+    def spawn(self, generator, name: str = ""):
+        """Run an application generator as a simulated process."""
+        return self.sim.process(generator, name=name)
+
+    def run(self, until=None):
+        """Advance the simulation (to an event, a time, or quiescence)."""
+        return self.sim.run(until=until)
+
+    def run_app(self, generator, name: str = "app"):
+        """Spawn *generator* and run until it finishes; returns its value."""
+        return self.sim.run(until=self.sim.process(generator, name=name))
+
+    def kill_server(self, host_id: int) -> None:
+        """Fail a memory server's host (NIC down, heartbeats stop)."""
+        self.servers[host_id].kill()
+
+    def network_bytes(self) -> int:
+        return self.net.bytes_carried
+
+
+def build_cluster(
+    num_machines: int = 12,
+    config: Optional[RStoreConfig] = None,
+    net_config: Optional[NetworkConfig] = None,
+    server_hosts: Optional[Iterable[int]] = None,
+    client_hosts: Optional[Iterable[int]] = None,
+    server_capacity: Optional[int] = None,
+) -> Cluster:
+    """Construct and boot a cluster; returns it ready for use.
+
+    By default the master runs on machine 0, every machine (including
+    0) donates DRAM, and every machine gets a started client — matching
+    the paper's co-located deployment.
+    """
+    config = config or RStoreConfig()
+    sim = Simulator()
+    net = Network(sim, num_machines, net_config or NetworkConfig())
+    cm = ConnectionManager(sim, net)
+    cluster = Cluster(sim, net, cm, config)
+    cluster.nics = [RNic(sim, host, net) for host in net.hosts]
+    cluster.tcp_stacks = [TcpStack(sim, host, net) for host in net.hosts]
+
+    server_ids = list(server_hosts) if server_hosts is not None else list(
+        range(num_machines)
+    )
+    client_ids = list(client_hosts) if client_hosts is not None else list(
+        range(num_machines)
+    )
+
+    def boot():
+        master = Master(sim, cluster.nics[config.master_host], cm, config)
+        cluster.master = master
+        yield from master.start()
+        # Memory servers boot concurrently, like daemons across a rack.
+        server_procs = []
+        for host_id in server_ids:
+            server = MemoryServer(
+                sim, cluster.nics[host_id], cm, config,
+                capacity=server_capacity,
+            )
+            cluster.servers[host_id] = server
+            server_procs.append(sim.process(server.start(),
+                                            name=f"boot-server-{host_id}"))
+        yield sim.all_of(server_procs)
+        client_procs = []
+        for host_id in client_ids:
+            client = RStoreClient(sim, cluster.nics[host_id], cm, config)
+            cluster.clients[host_id] = client
+            client_procs.append(sim.process(client.start(),
+                                            name=f"boot-client-{host_id}"))
+        yield sim.all_of(client_procs)
+
+    sim.run(until=sim.process(boot(), name="cluster-boot"))
+    cluster.boot_time = sim.now
+    return cluster

@@ -1,0 +1,97 @@
+"""Server-side arena allocator.
+
+A memory server registers its whole DRAM donation as one MR at startup
+(the separation philosophy: pay registration once, never per
+allocation).  Stripe reservations are then carved out of the arena by
+this first-fit free-list allocator with coalescing on release.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import OutOfMemoryError, RStoreError
+
+__all__ = ["Arena"]
+
+
+class Arena:
+    """First-fit allocator over ``[base, base+capacity)``.
+
+    Reservation lengths are rounded up to ``alignment`` so every
+    reservation starts aligned (RDMA atomics need 8-byte alignment;
+    the default of 64 also keeps stripes cacheline-aligned).  ``base``
+    itself must be aligned — MR addresses are page-aligned, so it is.
+    """
+
+    def __init__(self, base: int, capacity: int, alignment: int = 64):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if alignment < 1 or base % alignment:
+            raise ValueError(f"base {base:#x} not {alignment}-byte aligned")
+        self.base = base
+        self.capacity = capacity
+        self.alignment = alignment
+        #: sorted list of (offset, length) free extents
+        self._free: list[tuple[int, int]] = [(0, capacity)]
+        self._live: dict[int, int] = {}  # offset -> length
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(length for _off, length in self._free)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.capacity - self.free_bytes
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._live)
+
+    def reserve(self, length: int) -> int:
+        """Carve out *length* bytes; returns the absolute address."""
+        if length <= 0:
+            raise ValueError(f"reservation must be positive, got {length}")
+        length = -(-length // self.alignment) * self.alignment
+        for i, (off, extent) in enumerate(self._free):
+            if extent >= length:
+                if extent == length:
+                    del self._free[i]
+                else:
+                    self._free[i] = (off + length, extent - length)
+                self._live[off] = length
+                return self.base + off
+        raise OutOfMemoryError(
+            f"arena has {self.free_bytes} free bytes but none of its "
+            f"{len(self._free)} extents fits {length}"
+        )
+
+    def release(self, addr: int) -> int:
+        """Free a reservation by address; returns its length."""
+        off = addr - self.base
+        length = self._live.pop(off, None)
+        if length is None:
+            raise RStoreError(f"release of unknown reservation at {addr:#x}")
+        self._insert_free(off, length)
+        return length
+
+    def _insert_free(self, off: int, length: int) -> None:
+        # Insert keeping order, then coalesce with neighbours.
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid][0] < off:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, (off, length))
+        # merge with successor first, then predecessor
+        if lo + 1 < len(self._free):
+            noff, nlen = self._free[lo + 1]
+            if off + length == noff:
+                self._free[lo] = (off, length + nlen)
+                del self._free[lo + 1]
+        if lo > 0:
+            poff, plen = self._free[lo - 1]
+            coff, clen = self._free[lo]
+            if poff + plen == coff:
+                self._free[lo - 1] = (poff, plen + clen)
+                del self._free[lo]

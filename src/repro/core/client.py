@@ -1,0 +1,502 @@
+"""The RStore client library: the memory-like API.
+
+Control path (expensive, infrequent)::
+
+    region = yield from client.alloc("ranks", 64 * MiB)   # master RPC
+    mapping = yield from client.map(region)               # connect + cache
+
+Data path (one-sided, no server CPU, no metadata lookups)::
+
+    yield from mapping.write(0, b"...")
+    data = yield from mapping.read(0, 4096)
+    old = yield from mapping.faa(8, 1)
+
+``map`` resolves everything an IO will ever need — per-stripe server,
+remote address, rkey, and a connected QP per server (QPs are cached
+client-wide, so mapping a second region to the same servers is nearly
+free).  After that every ``read``/``write`` translates to one-sided
+RDMA with pure local arithmetic: RDMA's separation philosophy extended
+to the cluster.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Union
+
+from repro.core.config import RStoreConfig
+from repro.core.errors import (
+    BoundsError,
+    NotMappedError,
+    RegionUnavailableError,
+    RStoreError,
+)
+from repro.core.pool import LocalBufferPool
+from repro.core.region import RegionDesc, StripeDesc
+from repro.rdma.cm import ConnectionManager
+from repro.rdma.memory import MemoryRegion
+from repro.rdma.nic import RNic
+from repro.rdma.qp import QueuePair
+from repro.rdma.types import Access, Opcode, QpState, RdmaError, WcStatus
+from repro.rdma.wr import SendWR
+from repro.rpc.endpoint import RpcClient, RpcRemoteError
+from repro.simnet.kernel import Simulator
+
+__all__ = ["RStoreClient", "Mapping"]
+
+# Remote RStore exceptions re-raise locally as their real types.
+import repro.core.errors as _errors
+
+_ERROR_TYPES = {
+    name: getattr(_errors, name)
+    for name in _errors.__all__
+}
+
+
+def _translated(exc: RpcRemoteError) -> Exception:
+    cls = _ERROR_TYPES.get(exc.error_type)
+    if cls is not None:
+        return cls(exc.remote_message)
+    return exc
+
+
+class _DataOp:
+    """Tracks one logical operation fanned out into sub-requests."""
+
+    __slots__ = ("event", "remaining", "failure", "last_wc")
+
+    def __init__(self, sim: Simulator, total: int):
+        self.event = sim.event()
+        self.remaining = total
+        self.failure: Optional[Exception] = None
+        self.last_wc = None
+
+    def on_completion(self, wc) -> None:
+        self.remaining -= 1
+        self.last_wc = wc
+        if not wc.ok and self.failure is None:
+            self.failure = RegionUnavailableError(
+                f"data-path failure: {wc.status.value} {wc.detail}"
+            )
+        if self.remaining == 0:
+            if self.failure is not None:
+                self.event.fail(self.failure)
+            else:
+                self.event.succeed()
+
+    def abort(self, exc: Exception) -> None:
+        """Fail sub-requests that could not even be posted."""
+        self.remaining -= 1
+        if self.failure is None:
+            self.failure = exc
+        if self.remaining == 0:
+            self.event.fail(self.failure)
+
+
+class _QpPump:
+    """Per-QP submission throttle honouring the send-queue depth."""
+
+    __slots__ = ("qp", "queue", "inflight", "capacity")
+
+    def __init__(self, qp: QueuePair, window: int = 8):
+        self.qp = qp
+        self.queue: deque[SendWR] = deque()
+        self.inflight = 0
+        self.capacity = max(1, min(window, qp.sq_depth - 8))
+
+    def submit(self, wr: SendWR) -> None:
+        if self.inflight < self.capacity:
+            self._post(wr)
+        else:
+            self.queue.append(wr)
+
+    def on_complete(self) -> None:
+        self.inflight -= 1
+        while self.queue and self.inflight < self.capacity:
+            self._post(self.queue.popleft())
+
+    def _post(self, wr: SendWR) -> None:
+        try:
+            self.qp.post_send(wr)
+            self.inflight += 1
+        except RdmaError as exc:
+            op: _DataOp = wr.wr_id
+            op.abort(RegionUnavailableError(str(exc)))
+
+
+class Mapping:
+    """A mapped region: the data-path handle."""
+
+    def __init__(self, client: "RStoreClient", desc: RegionDesc):
+        self.client = client
+        self.desc = desc
+        self.active = True
+        #: host_id -> connected data QP (borrowed from the client cache)
+        self._qps: dict[int, QueuePair] = {}
+
+    @property
+    def name(self) -> str:
+        return self.desc.name
+
+    @property
+    def size(self) -> int:
+        return self.desc.size
+
+    def unmap(self) -> None:
+        """Drop the mapping (QPs stay cached client-wide)."""
+        self.active = False
+
+    # -- data path ----------------------------------------------------------
+
+    def read(self, offset: int, length: int, wire_scale: int = 1):
+        """Read bytes (generator) via the staging pool."""
+        chunk = yield from self.client._staging.alloc(length)
+        try:
+            yield from self.read_into(
+                chunk.mr, chunk.addr, offset, length, wire_scale=wire_scale
+            )
+            data = chunk.read_bytes(length)
+        finally:
+            chunk.release()
+        return data
+
+    def write(self, offset: int, payload: bytes, wire_scale: int = 1):
+        """Write bytes (generator) via the staging pool."""
+        chunk = yield from self.client._staging.alloc(len(payload))
+        try:
+            yield from self.client.nic.host.cpu.copy(len(payload))
+            chunk.write_bytes(payload)
+            yield from self.write_from(
+                chunk.mr, chunk.addr, offset, len(payload), wire_scale=wire_scale
+            )
+        finally:
+            chunk.release()
+        return len(payload)
+
+    def read_into(self, local_mr: MemoryRegion, local_addr: int,
+                  offset: int, length: int, wire_scale: int = 1):
+        """Zero-copy read into a caller-registered buffer (generator)."""
+        yield from self._one_sided(
+            Opcode.RDMA_READ, local_mr, local_addr, offset, length, wire_scale
+        )
+
+    def write_from(self, local_mr: MemoryRegion, local_addr: int,
+                   offset: int, length: int, wire_scale: int = 1):
+        """Zero-copy write from a caller-registered buffer (generator)."""
+        yield from self._one_sided(
+            Opcode.RDMA_WRITE, local_mr, local_addr, offset, length, wire_scale
+        )
+
+    def faa(self, offset: int, delta: int):
+        """Remote fetch-and-add on an 8-byte counter (generator)."""
+        wc = yield from self._atomic(Opcode.ATOMIC_FAA, offset, compare=delta)
+        return wc.atomic_result
+
+    def cas(self, offset: int, expected: int, desired: int):
+        """Remote compare-and-swap (generator); returns the old value."""
+        wc = yield from self._atomic(
+            Opcode.ATOMIC_CAS, offset, compare=expected, swap=desired
+        )
+        return wc.atomic_result
+
+    # -- internals ---------------------------------------------------------------
+
+    def _check_usable(self):
+        if not self.active:
+            raise NotMappedError(f"region {self.name!r} is not mapped")
+
+    def _resolve(self):
+        """Descriptor for this IO (generator) — fresh under the
+        resolve-per-io ablation, cached otherwise."""
+        if self.client.config.resolve_per_io:
+            desc = yield from self.client._master.call("lookup", self.name)
+            return desc
+        return self.desc
+
+    def _one_sided(self, opcode, local_mr, local_addr, offset, length,
+                   wire_scale):
+        self._check_usable()
+        if length == 0:
+            return
+        yield from self.client.nic.host.cpu.run(
+            self.client.config.issue_overhead_s
+        )
+        desc = yield from self._resolve()
+        if not desc.available:
+            raise RegionUnavailableError(desc.unavailable_reason)
+        if self.client.config.two_sided_data_path:
+            yield from self.client._two_sided_io(
+                self, opcode, local_mr, local_addr, offset, length, desc
+            )
+            return
+        # split stripe pieces further so no single WR exceeds the wire
+        # chunk ceiling (keeps concurrent flows interleaving fairly)
+        chunk = max(1, self.client.config.max_wire_chunk // wire_scale)
+        pieces = []
+        for stripe, stripe_off, take in desc.locate(offset, length):
+            pos = 0
+            while pos < take:
+                part = min(chunk, take - pos)
+                pieces.append((stripe, stripe_off + pos, part))
+                pos += part
+        # writes must land on every replica; reads hit only the primary
+        fan_out = opcode is Opcode.RDMA_WRITE
+        total_wrs = sum(
+            stripe.replication if fan_out else 1
+            for stripe, _off, _take in pieces
+        )
+        op = _DataOp(self.client.sim, total_wrs)
+        cursor = local_addr
+        for stripe, stripe_off, take in pieces:
+            targets = stripe.replicas if fan_out else (stripe.primary,)
+            for replica in targets:
+                qp = self._qps.get(replica.host_id)
+                if qp is None:
+                    raise NotMappedError(
+                        f"no data QP for server {replica.host_id}; "
+                        "remap the region"
+                    )
+                wr = SendWR(
+                    opcode=opcode,
+                    wr_id=op,
+                    local_mr=local_mr,
+                    local_addr=cursor,
+                    length=take,
+                    remote_addr=replica.addr + stripe_off,
+                    rkey=replica.rkey,
+                    wire_length=take * wire_scale if wire_scale != 1 else None,
+                )
+                self.client._pump_for(qp).submit(wr)
+            cursor += take
+        yield op.event
+        self.client.ops_completed += 1
+        self.client.bytes_moved += length * wire_scale
+
+    def _atomic(self, opcode, offset, compare=0, swap=0):
+        self._check_usable()
+        if offset % 8 != 0:
+            raise BoundsError(f"atomic offset {offset} not 8-byte aligned")
+        desc = yield from self._resolve()
+        if not desc.available:
+            raise RegionUnavailableError(desc.unavailable_reason)
+        pieces = list(desc.locate(offset, 8))
+        if len(pieces) != 1:
+            raise BoundsError("atomic target spans a stripe boundary")
+        stripe, stripe_off, _take = pieces[0]
+        if stripe.replication > 1:
+            raise RStoreError(
+                "atomics on replicated regions are not supported: a "
+                "NIC-side atomic cannot be mirrored consistently"
+            )
+        qp = self._qps.get(stripe.host_id)
+        if qp is None:
+            raise NotMappedError(
+                f"no data QP for server {stripe.host_id}; remap the region"
+            )
+        op = _DataOp(self.client.sim, 1)
+        self.client._pump_for(qp).submit(
+            SendWR(
+                opcode=opcode,
+                wr_id=op,
+                remote_addr=stripe.addr + stripe_off,
+                rkey=stripe.rkey,
+                compare=compare,
+                swap=swap,
+            )
+        )
+        yield op.event
+        self.client.ops_completed += 1
+        return op.last_wc
+
+
+class RStoreClient:
+    """One application's connection to the store."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nic: RNic,
+        cm: ConnectionManager,
+        config: Optional[RStoreConfig] = None,
+    ):
+        self.sim = sim
+        self.nic = nic
+        self.cm = cm
+        self.config = config or RStoreConfig()
+        self._pd = None
+        self._data_cq = None
+        self._staging: Optional[LocalBufferPool] = None
+        self._master: Optional[RpcClient] = None
+        self._data_qps: dict[int, QueuePair] = {}
+        self._pumps: dict[QueuePair, _QpPump] = {}
+        self._mem_rpc: dict[int, RpcClient] = {}
+        # -- metrics
+        self.ops_completed = 0
+        self.bytes_moved = 0
+
+    def start(self):
+        """Connect to the cluster (generator)."""
+        self._pd = yield from self.nic.alloc_pd()
+        self._data_cq = yield from self.nic.create_cq(depth=1 << 16)
+        staging_mr = yield from self.nic.reg_mr(
+            self._pd, length=self.config.staging_pool_bytes
+        )
+        self._staging = LocalBufferPool(self.sim, staging_mr)
+        self._master = RpcClient(self.sim, self.nic, self.cm)
+        yield from self._master.connect(
+            self.config.master_host, self.config.master_service
+        )
+        self.sim.process(self._completion_dispatcher(), name="client-dispatch")
+        return self
+
+    # -- control path ----------------------------------------------------------
+
+    def _master_call(self, method: str, *args):
+        try:
+            result = yield from self._master.call(method, *args)
+        except RpcRemoteError as exc:
+            raise _translated(exc) from None
+        return result
+
+    def alloc(self, name: str, size: int, stripe_size: Optional[int] = None,
+              preferred_host: Optional[int] = None,
+              replication: Optional[int] = None):
+        """Allocate a named region (generator); returns its descriptor.
+
+        ``preferred_host`` is a locality hint: place the whole region on
+        that memory server when it has capacity.  ``replication`` > 1
+        keeps that many copies of each stripe on distinct servers.
+        """
+        desc = yield from self._master_call(
+            "alloc", name, size, stripe_size, preferred_host, replication
+        )
+        return desc
+
+    def lookup(self, name: str):
+        """Fetch a region descriptor by name (generator)."""
+        desc = yield from self._master_call("lookup", name)
+        return desc
+
+    def resize(self, name: str, new_size: int):
+        """Grow a region (generator); returns the new descriptor.
+
+        Existing data is untouched.  Re-map to access the added range —
+        live mappings keep working for the old range only.
+        """
+        desc = yield from self._master_call("resize", name, new_size)
+        return desc
+
+    def free(self, name: str):
+        """Release a region cluster-wide (generator)."""
+        result = yield from self._master_call("free", name)
+        return result
+
+    def list_regions(self):
+        """All region names (generator)."""
+        names = yield from self._master_call("list_regions")
+        return names
+
+    def map(self, region: Union[RegionDesc, str]):
+        """Map a region for data-path access (generator).
+
+        Resolves the descriptor (if given a name), then ensures a
+        connected data QP to every hosting server.  QPs are cached
+        across mappings, so only first contact with a server pays the
+        connection cost.
+        """
+        desc = region
+        if isinstance(region, str):
+            desc = yield from self.lookup(region)
+        if not desc.available:
+            raise RegionUnavailableError(desc.unavailable_reason)
+        mapping = Mapping(self, desc)
+        for host_id in desc.hosts:
+            qp = self._data_qps.get(host_id)
+            if qp is None or qp.state is not QpState.CONNECTED:
+                qp = yield from self.cm.connect(
+                    self.nic,
+                    host_id,
+                    self.config.data_service,
+                    self._pd,
+                    self._data_cq,
+                    sq_depth=self.config.data_sq_depth,
+                )
+                self._data_qps[host_id] = qp
+            mapping._qps[host_id] = qp
+        return mapping
+
+    def alloc_local(self, length: int):
+        """Register a private local buffer for zero-copy IO (generator)."""
+        mr = yield from self.nic.reg_mr(self._pd, length=length)
+        return mr
+
+    # -- synchronization ----------------------------------------------------------
+
+    def barrier(self, name: str, count: int):
+        """Wait at a named cluster barrier (generator)."""
+        generation = yield from self._master_call("barrier", name, count)
+        return generation
+
+    def allreduce(self, name: str, count: int, value):
+        """Sum *value* across *count* participants (generator)."""
+        total = yield from self._master_call("allreduce", name, count, value)
+        return total
+
+    def notify(self, name: str, payload=None):
+        """Publish a named notification (generator)."""
+        result = yield from self._master_call("notify", name, payload)
+        return result
+
+    def wait_note(self, name: str):
+        """Wait for a named notification (generator)."""
+        payload = yield from self._master_call("wait_note", name)
+        return payload
+
+    # -- internals -------------------------------------------------------------------
+
+    def _pump_for(self, qp: QueuePair) -> _QpPump:
+        pump = self._pumps.get(qp)
+        if pump is None:
+            pump = _QpPump(qp, window=self.config.data_window_per_qp)
+            self._pumps[qp] = pump
+        return pump
+
+    def _completion_dispatcher(self):
+        while True:
+            wc = yield self._data_cq.next_completion()
+            pump = self._pumps.get(wc.qp)
+            if pump is not None:
+                pump.on_complete()
+            op = wc.wr_id
+            if isinstance(op, _DataOp):
+                op.on_completion(wc)
+
+    def _two_sided_io(self, mapping: Mapping, opcode, local_mr, local_addr,
+                      offset, length, desc):
+        """Ablation: data ops through the server CPU over messaging."""
+        chunk_limit = max(1024, self.config.msg_size // 2)
+        cursor = local_addr
+        for stripe, stripe_off, take in desc.locate(offset, length):
+            rpc = self._mem_rpc.get(stripe.host_id)
+            if rpc is None:
+                rpc = RpcClient(self.sim, self.nic, self.cm)
+                yield from rpc.connect(stripe.host_id, self.config.mem_service)
+                self._mem_rpc[stripe.host_id] = rpc
+            pos = 0
+            while pos < take:
+                piece = min(chunk_limit, take - pos)
+                remote = stripe.addr + stripe_off + pos
+                if opcode is Opcode.RDMA_READ:
+                    data = yield from rpc.call("ts_read", remote, piece)
+                    local_mr.buffer.write(
+                        local_mr.offset_of(cursor + pos), data
+                    )
+                else:
+                    payload = local_mr.buffer.read(
+                        local_mr.offset_of(cursor + pos), piece
+                    )
+                    yield from rpc.call("ts_write", remote, payload)
+                pos += piece
+            cursor += take
+        self.ops_completed += 1
+        self.bytes_moved += length

@@ -1,0 +1,78 @@
+"""RStore deployment configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simnet.config import KiB, MiB
+
+__all__ = ["RStoreConfig"]
+
+
+@dataclass
+class RStoreConfig:
+    """Knobs for master, memory servers and clients.
+
+    The defaults mirror the paper's deployment style: one master, every
+    other machine donating a DRAM arena pre-registered at startup, and
+    regions striped across servers in fixed-size stripes for aggregate
+    bandwidth.
+    """
+
+    #: host id running the master
+    master_host: int = 0
+    #: striping unit: a region is cut into stripes of this size, each
+    #: placed on one memory server
+    stripe_size: int = 1 * MiB
+    #: DRAM each memory server donates (sparse-backed, so large values
+    #: are cheap until written)
+    server_capacity: int = 4096 * MiB
+    #: stripe placement policy: "round_robin", "random" or "spread"
+    allocation_policy: str = "round_robin"
+    #: copies per stripe: 1 (the paper's volatile store) or more — an
+    #: availability extension: writes fan to every replica, reads hit
+    #: the primary, and the master promotes replicas when servers die
+    default_replication: int = 1
+    #: send-queue depth of client data QPs
+    data_sq_depth: int = 256
+    #: outstanding work requests per data QP: a small window keeps
+    #: servers interleaving between clients (large bursts convoy a
+    #: server's egress behind one client); real RNIC flow control
+    #: behaves the same way
+    data_window_per_qp: int = 8
+    #: size of the client's registered staging pool for the convenience
+    #: byte-oriented read/write API
+    staging_pool_bytes: int = 16 * MiB
+    #: control-plane RPC message size limit
+    msg_size: int = 64 * KiB
+    #: client-side software cost to issue one data operation (address
+    #: translation, WQE setup) — what RStore adds over raw verbs
+    issue_overhead_s: float = 0.2e-6
+    #: ceiling on the wire size of one work request: larger transfers
+    #: split into multiple WRs so concurrent flows interleave on the
+    #: fabric at this granularity instead of convoying behind
+    #: multi-megabyte messages
+    max_wire_chunk: int = 1 * MiB
+    #: memory-server heartbeat period
+    heartbeat_interval_s: float = 0.1
+    #: master declares a server dead after this long without a heartbeat
+    lease_timeout_s: float = 0.35
+    #: ablation (E9): resolve region metadata at the master on every IO
+    #: instead of caching it in the mapping
+    resolve_per_io: bool = False
+    #: ablation (E9): route data operations through the server CPU with
+    #: two-sided messaging instead of one-sided RDMA
+    two_sided_data_path: bool = False
+
+    #: service ids on the fabric
+    master_service: str = "rstore-master"
+    mem_service: str = "rstore-mem"
+    data_service: str = "rstore-data"
+
+    def __post_init__(self):
+        if self.stripe_size <= 0:
+            raise ValueError("stripe_size must be positive")
+        if self.allocation_policy not in ("round_robin", "random", "spread"):
+            raise ValueError(
+                f"unknown allocation policy {self.allocation_policy!r}"
+            )

@@ -1,0 +1,46 @@
+"""RStore exception hierarchy."""
+
+from __future__ import annotations
+
+__all__ = [
+    "RStoreError",
+    "AllocationError",
+    "OutOfMemoryError",
+    "RegionNotFoundError",
+    "RegionExistsError",
+    "RegionUnavailableError",
+    "NotMappedError",
+    "BoundsError",
+]
+
+
+class RStoreError(Exception):
+    """Base class for all RStore failures."""
+
+
+class AllocationError(RStoreError):
+    """A region could not be allocated."""
+
+
+class OutOfMemoryError(AllocationError):
+    """The cluster (or a chosen server) lacks free DRAM."""
+
+
+class RegionNotFoundError(RStoreError):
+    """No region is registered under the requested name."""
+
+
+class RegionExistsError(RStoreError):
+    """A region with that name already exists."""
+
+
+class RegionUnavailableError(RStoreError):
+    """The region lost one of its memory servers."""
+
+
+class NotMappedError(RStoreError):
+    """Data-path access attempted through an unmapped or stale mapping."""
+
+
+class BoundsError(RStoreError):
+    """Access outside the region's [0, size) range."""

@@ -1,0 +1,406 @@
+"""The RStore master: names, allocation, liveness, synchronization.
+
+The master is pure control path.  It owns the namespace (name → region
+descriptor), places stripes across memory servers, drives server-side
+reservations, and watches server leases.  It also exposes small
+synchronization primitives (barriers, notifications) that the paper's
+applications use to coordinate — all RPC, none of it ever on the data
+path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.core.allocator import ServerSlot, StripeAllocator
+from repro.core.config import RStoreConfig
+from repro.core.errors import (
+    AllocationError,
+    RegionExistsError,
+    RegionNotFoundError,
+    RStoreError,
+)
+from repro.core.region import (
+    RegionDesc,
+    StripeDesc,
+    StripeReplica,
+    split_into_stripes,
+)
+from repro.rdma.cm import ConnectionManager
+from repro.rdma.nic import RNic
+from repro.rpc.endpoint import RpcClient, RpcServer
+from repro.simnet.kernel import Simulator
+
+__all__ = ["Master"]
+
+
+class Master:
+    """The metadata and coordination service."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nic: RNic,
+        cm: ConnectionManager,
+        config: Optional[RStoreConfig] = None,
+    ):
+        self.sim = sim
+        self.nic = nic
+        self.cm = cm
+        self.config = config or RStoreConfig()
+        self.allocator = StripeAllocator(policy=self.config.allocation_policy)
+        self.regions: dict[str, RegionDesc] = {}
+        self._region_ids = itertools.count(1)
+        self._server_rpc: dict[int, RpcClient] = {}
+        self._barriers: dict[str, dict] = {}
+        self._notes: dict[str, object] = {}
+        self._note_waiters: dict[str, list] = {}
+        self._rpc: Optional[RpcServer] = None
+        self.alive = True
+
+    def start(self):
+        """Boot the master (generator)."""
+        cfg = self.config
+        self._rpc = RpcServer(
+            self.sim, self.nic, self.cm, cfg.master_service, cfg.msg_size
+        )
+        for method in (
+            "register_server",
+            "heartbeat",
+            "alloc",
+            "resize",
+            "free",
+            "lookup",
+            "list_regions",
+            "cluster_stats",
+            "barrier",
+            "allreduce",
+            "notify",
+            "wait_note",
+        ):
+            self._rpc.register(method, getattr(self, f"_{method}"))
+        yield from self._rpc.start()
+        self.sim.process(self._lease_checker(), name="master-lease-checker")
+        return self
+
+    # -- membership -----------------------------------------------------------
+
+    def _register_server(self, host_id, capacity, rkey):
+        yield self.sim.timeout(0)
+        self.allocator.add_server(
+            ServerSlot(
+                host_id=host_id,
+                capacity=capacity,
+                free=capacity,
+                rkey=rkey,
+                alive=True,
+                last_heartbeat=self.sim.now,
+            )
+        )
+        return True
+
+    def _heartbeat(self, host_id):
+        yield self.sim.timeout(0)
+        try:
+            self.allocator.server(host_id).last_heartbeat = self.sim.now
+        except KeyError:
+            raise RStoreError(f"heartbeat from unregistered server {host_id}")
+        return True
+
+    def _lease_checker(self):
+        cfg = self.config
+        while self.alive:
+            yield self.sim.timeout(cfg.heartbeat_interval_s)
+            deadline = self.sim.now - cfg.lease_timeout_s
+            for slot in self.allocator.servers:
+                if slot.alive and slot.last_heartbeat < deadline:
+                    self._declare_dead(slot)
+
+    def _declare_dead(self, slot: ServerSlot) -> None:
+        slot.alive = False
+        self._server_rpc.pop(slot.host_id, None)
+        dead = slot.host_id
+        for region in self.regions.values():
+            if not region.available:
+                continue
+            affected = [
+                s for s in region.stripes
+                if any(r.host_id == dead for r in s.replicas)
+            ]
+            if not affected:
+                continue
+            if all(s.replication > 1 for s in affected):
+                # Promote surviving replicas: the region stays available
+                # under a new descriptor version; clients learn on their
+                # next lookup/remap.
+                region.stripes = [
+                    s.without_host(dead)
+                    if any(r.host_id == dead for r in s.replicas)
+                    else s
+                    for s in region.stripes
+                ]
+                region.version += 1
+            else:
+                region.available = False
+                region.unavailable_reason = (
+                    f"memory server {dead} failed"
+                )
+
+    # -- allocation ---------------------------------------------------------------
+
+    def _server_client(self, host_id: int):
+        """Lazily connect to a memory server's control service (generator)."""
+        client = self._server_rpc.get(host_id)
+        if client is None:
+            client = RpcClient(self.sim, self.nic, self.cm)
+            yield from client.connect(host_id, self.config.mem_service)
+            self._server_rpc[host_id] = client
+        return client
+
+    def _alloc(self, name, size, stripe_size=None, preferred_host=None,
+               replication=None):
+        if name in self.regions:
+            raise RegionExistsError(f"region {name!r} already exists")
+        stripe_size = stripe_size or self.config.stripe_size
+        replication = replication or self.config.default_replication
+        lengths = split_into_stripes(size, stripe_size)
+        placement = self.allocator.place(
+            lengths, preferred_host=preferred_host, replication=replication
+        )
+
+        # One reservation RPC per involved server, batched over every
+        # copy that lands there.
+        by_host: dict[int, list[int]] = {}
+        for copies, length in zip(placement, lengths):
+            for host_id in copies:
+                by_host.setdefault(host_id, []).append(length)
+        reserved: dict[int, tuple[list[int], int]] = {}
+        try:
+            for host_id, host_lengths in by_host.items():
+                client = yield from self._server_client(host_id)
+                addrs, rkey = yield from client.call(
+                    "reserve_batch", host_lengths
+                )
+                reserved[host_id] = (addrs, rkey)
+        except Exception as exc:
+            # Roll back partial reservations and tracked capacity.
+            for host_id, (addrs, _rkey) in reserved.items():
+                client = yield from self._server_client(host_id)
+                yield from client.call("release_batch", addrs)
+            for copies, length in zip(placement, lengths):
+                for host_id in copies:
+                    self.allocator.release(host_id, length)
+            raise AllocationError(f"allocation of {name!r} failed: {exc}")
+
+        cursors = {h: 0 for h in by_host}
+        stripes = []
+        for index, (copies, length) in enumerate(zip(placement, lengths)):
+            replicas = []
+            for host_id in copies:
+                addrs, rkey = reserved[host_id]
+                replicas.append(
+                    StripeReplica(
+                        host_id=host_id,
+                        addr=addrs[cursors[host_id]],
+                        rkey=rkey,
+                    )
+                )
+                cursors[host_id] += 1
+            stripes.append(
+                StripeDesc(index=index, length=length,
+                           replicas=tuple(replicas))
+            )
+        region = RegionDesc(
+            region_id=next(self._region_ids),
+            name=name,
+            size=size,
+            stripe_size=stripe_size,
+            stripes=stripes,
+        )
+        region.validate()
+        self.regions[name] = region
+        return region
+
+    def _resize(self, name, new_size):
+        """Grow a region by appending stripes (shrinking not supported).
+
+        Existing stripes — and therefore existing data and mappings —
+        are untouched; the descriptor version bumps so clients know to
+        re-map before touching the new range.
+        """
+        region = self.regions.get(name)
+        if region is None:
+            raise RegionNotFoundError(f"no region named {name!r}")
+        if not region.available:
+            raise RStoreError(
+                f"cannot resize unavailable region {name!r}: "
+                f"{region.unavailable_reason}"
+            )
+        if new_size < region.size:
+            raise RStoreError(
+                f"shrinking is not supported ({region.size} -> {new_size})"
+            )
+        if new_size == region.size:
+            yield self.sim.timeout(0)
+            return region
+        if region.size % region.stripe_size != 0:
+            # a partial tail stripe cannot be extended in place (stripes
+            # are immutable server reservations) and address translation
+            # requires every non-final stripe to be full
+            raise RStoreError(
+                f"cannot grow {name!r}: its size {region.size} is not a "
+                f"multiple of the stripe size {region.stripe_size}"
+            )
+        old_stripes = list(region.stripes)
+        grown = new_size - region.size
+        replication = region.replication
+        lengths = split_into_stripes(grown, region.stripe_size)
+        placement = self.allocator.place(lengths, replication=replication)
+        by_host: dict[int, list[int]] = {}
+        for copies, length in zip(placement, lengths):
+            for host_id in copies:
+                by_host.setdefault(host_id, []).append(length)
+        reserved: dict[int, tuple[list[int], int]] = {}
+        try:
+            for host_id, host_lengths in by_host.items():
+                client = yield from self._server_client(host_id)
+                addrs, rkey = yield from client.call(
+                    "reserve_batch", host_lengths
+                )
+                reserved[host_id] = (addrs, rkey)
+        except Exception as exc:
+            for host_id, (addrs, _rkey) in reserved.items():
+                client = yield from self._server_client(host_id)
+                yield from client.call("release_batch", addrs)
+            for copies, length in zip(placement, lengths):
+                for host_id in copies:
+                    self.allocator.release(host_id, length)
+            raise AllocationError(f"resize of {name!r} failed: {exc}")
+        cursors = {h: 0 for h in by_host}
+        new_stripes = []
+        base_index = len(old_stripes)
+        for offset, (copies, length) in enumerate(zip(placement, lengths)):
+            replicas = []
+            for host_id in copies:
+                addrs, rkey = reserved[host_id]
+                replicas.append(
+                    StripeReplica(host_id=host_id,
+                                  addr=addrs[cursors[host_id]], rkey=rkey)
+                )
+                cursors[host_id] += 1
+            new_stripes.append(
+                StripeDesc(index=base_index + offset, length=length,
+                           replicas=tuple(replicas))
+            )
+        region.stripes = old_stripes + new_stripes
+        region.size = new_size
+        region.version += 1
+        return region
+
+    def _free(self, name):
+        region = self.regions.pop(name, None)
+        if region is None:
+            raise RegionNotFoundError(f"no region named {name!r}")
+        by_host: dict[int, list[int]] = {}
+        for stripe in region.stripes:
+            for replica in stripe.replicas:
+                by_host.setdefault(replica.host_id, []).append(replica.addr)
+        for host_id, addrs in by_host.items():
+            if not self.allocator.server(host_id).alive:
+                continue  # its arena died with it
+            client = yield from self._server_client(host_id)
+            yield from client.call("release_batch", addrs)
+        for stripe in region.stripes:
+            for replica in stripe.replicas:
+                self.allocator.release(replica.host_id, stripe.length)
+        return True
+
+    def _lookup(self, name):
+        yield self.sim.timeout(0)
+        region = self.regions.get(name)
+        if region is None:
+            raise RegionNotFoundError(f"no region named {name!r}")
+        return region
+
+    def _list_regions(self):
+        yield self.sim.timeout(0)
+        return sorted(self.regions)
+
+    def _cluster_stats(self):
+        yield self.sim.timeout(0)
+        return {
+            "servers": len(self.allocator.servers),
+            "alive_servers": len(self.allocator.alive_servers),
+            "total_free": self.allocator.total_free,
+            "regions": len(self.regions),
+        }
+
+    # -- synchronization ------------------------------------------------------------
+
+    def _barrier(self, name, count):
+        """Block until *count* participants have arrived at *name*."""
+        entry = self._barriers.get(name)
+        if entry is None:
+            entry = {"arrived": 0, "count": count, "waiters": [],
+                     "generation": 0}
+            self._barriers[name] = entry
+        if entry["count"] != count:
+            raise RStoreError(
+                f"barrier {name!r} size mismatch: {entry['count']} != {count}"
+            )
+        entry["arrived"] += 1
+        generation = entry["generation"]
+        if entry["arrived"] >= count:
+            waiters = entry["waiters"]
+            entry["arrived"] = 0
+            entry["waiters"] = []
+            entry["generation"] += 1
+            for waiter in waiters:
+                waiter.succeed(generation)
+            yield self.sim.timeout(0)
+            return generation
+        event = self.sim.event()
+        entry["waiters"].append(event)
+        result = yield event
+        return result
+
+    def _allreduce(self, name, count, value):
+        """Sum *value* across *count* participants; all get the total."""
+        entry = self._barriers.get(("allreduce", name))
+        if entry is None:
+            entry = {"values": [], "count": count, "waiters": []}
+            self._barriers[("allreduce", name)] = entry
+        if entry["count"] != count:
+            raise RStoreError(
+                f"allreduce {name!r} size mismatch: {entry['count']} != {count}"
+            )
+        entry["values"].append(value)
+        if len(entry["values"]) >= count:
+            total = sum(entry["values"])
+            waiters = entry["waiters"]
+            del self._barriers[("allreduce", name)]
+            for waiter in waiters:
+                waiter.succeed(total)
+            yield self.sim.timeout(0)
+            return total
+        event = self.sim.event()
+        entry["waiters"].append(event)
+        total = yield event
+        return total
+
+    def _notify(self, name, payload=None):
+        yield self.sim.timeout(0)
+        self._notes[name] = payload
+        for waiter in self._note_waiters.pop(name, []):
+            waiter.succeed(payload)
+        return True
+
+    def _wait_note(self, name):
+        if name in self._notes:
+            yield self.sim.timeout(0)
+            return self._notes[name]
+        event = self.sim.event()
+        self._note_waiters.setdefault(name, []).append(event)
+        payload = yield event
+        return payload

@@ -1,0 +1,148 @@
+"""The memory server: a host donating DRAM to the store.
+
+At startup the server allocates its arena, registers it with its NIC
+**once** (the expensive pinning happens here, never on the data path),
+opens two fabric services —
+
+* ``rstore-mem``: control RPC used by the master to reserve/release
+  stripes, and by the two-sided ablation to read/write through the CPU;
+* ``rstore-data``: a passive endpoint clients connect their data QPs
+  to; all normal traffic on it is one-sided and never schedules a
+  single instruction on this host —
+
+and then announces itself to the master and starts heartbeating.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.arena import Arena
+from repro.core.config import RStoreConfig
+from repro.rdma.cm import ConnectionManager
+from repro.rdma.nic import RNic
+from repro.rdma.types import Access
+from repro.rpc.endpoint import RpcClient, RpcServer
+from repro.simnet.kernel import Simulator
+
+__all__ = ["MemoryServer"]
+
+
+class MemoryServer:
+    """One memory server daemon."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nic: RNic,
+        cm: ConnectionManager,
+        config: Optional[RStoreConfig] = None,
+        capacity: Optional[int] = None,
+    ):
+        self.sim = sim
+        self.nic = nic
+        self.cm = cm
+        self.config = config or RStoreConfig()
+        self.capacity = capacity or self.config.server_capacity
+        self.host_id = nic.host.host_id
+        self.arena: Optional[Arena] = None
+        self.arena_mr = None
+        self.alive = False
+        self._rpc: Optional[RpcServer] = None
+        self._master: Optional[RpcClient] = None
+
+    def start(self):
+        """Boot the server (generator): arena, services, registration."""
+        cfg = self.config
+        data_pd = yield from self.nic.alloc_pd()
+        data_cq = yield from self.nic.create_cq()
+        # One registration for the whole donation — the control-path
+        # cost RStore pays once so the data path never does.
+        self.arena_mr = yield from self.nic.reg_mr(
+            data_pd, length=self.capacity, access=Access.all_remote()
+        )
+        self.arena = Arena(self.arena_mr.addr, self.capacity)
+
+        self._rpc = RpcServer(
+            self.sim, self.nic, self.cm, f"{cfg.mem_service}", cfg.msg_size
+        )
+        self._rpc.register("reserve_batch", self._reserve_batch)
+        self._rpc.register("release_batch", self._release_batch)
+        self._rpc.register("ts_read", self._ts_read)
+        self._rpc.register("ts_write", self._ts_write)
+        self._rpc.register("stats", self._stats)
+        yield from self._rpc.start()
+
+        self.cm.listen(self.nic, cfg.data_service, data_pd, data_cq)
+
+        self._master = RpcClient(self.sim, self.nic, self.cm)
+        yield from self._master.connect(cfg.master_host, cfg.master_service)
+        yield from self._master.call(
+            "register_server", self.host_id, self.capacity, self.arena_mr.rkey
+        )
+        self.alive = True
+        self.sim.process(self._heartbeat_loop(), name=f"hb-{self.host_id}")
+        return self
+
+    def kill(self) -> None:
+        """Fail the whole host: NIC dead, heartbeats stop."""
+        self.alive = False
+        self.nic.kill()
+
+    # -- RPC handlers -------------------------------------------------------
+
+    def _reserve_batch(self, lengths):
+        """Reserve stripes; returns (addresses, rkey)."""
+        assert self.arena is not None
+        addrs = []
+        try:
+            for length in lengths:
+                addrs.append(self.arena.reserve(length))
+        except Exception:
+            for addr in addrs:
+                self.arena.release(addr)
+            raise
+        yield self.sim.timeout(0)
+        return addrs, self.arena_mr.rkey
+
+    def _release_batch(self, addrs):
+        assert self.arena is not None
+        freed = 0
+        for addr in addrs:
+            freed += self.arena.release(addr)
+        yield self.sim.timeout(0)
+        return freed
+
+    def _ts_read(self, addr, length):
+        """Two-sided ablation: read arena bytes through the server CPU."""
+        offset = self.arena_mr.offset_of(addr)
+        yield from self.nic.host.cpu.copy(length)
+        return self.arena_mr.buffer.read(offset, length)
+
+    def _ts_write(self, addr, payload):
+        """Two-sided ablation: write arena bytes through the server CPU."""
+        offset = self.arena_mr.offset_of(addr)
+        yield from self.nic.host.cpu.copy(len(payload))
+        self.arena_mr.buffer.write(offset, payload)
+        return len(payload)
+
+    def _stats(self):
+        yield self.sim.timeout(0)
+        assert self.arena is not None
+        return {
+            "host_id": self.host_id,
+            "capacity": self.capacity,
+            "free": self.arena.free_bytes,
+            "live_allocations": self.arena.live_allocations,
+        }
+
+    # -- liveness -----------------------------------------------------------
+
+    def _heartbeat_loop(self):
+        assert self._master is not None
+        while self.alive:
+            try:
+                yield from self._master.call("heartbeat", self.host_id)
+            except Exception:
+                return  # master unreachable; nothing useful left to do
+            yield self.sim.timeout(self.config.heartbeat_interval_s)

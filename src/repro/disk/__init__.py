@@ -1,0 +1,5 @@
+"""Rotating-disk model backing the Hadoop TeraSort baseline."""
+
+from repro.disk.disk import Disk, DiskModel
+
+__all__ = ["Disk", "DiskModel"]

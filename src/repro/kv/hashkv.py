@@ -1,0 +1,271 @@
+"""One-sided distributed hash table over an RStore region.
+
+Slot layout (all fields 8-byte aligned)::
+
+    [ version 8B ][ key_len 8B ][ key ... ][ val_len 8B ][ value ... ]
+
+``version`` semantics:
+
+* ``0``     — slot never used
+* even > 0  — stable; bumped by 2 on every successful mutation
+* odd       — locked by a writer (CAS'd from the even value)
+
+Readers never lock: a ``get`` reads the whole slot in one one-sided
+read, then validates by re-reading the version word; if it changed (or
+was odd), the read raced a writer and retries — the classic optimistic
+protocol RDMA stores use.  Writers serialize per slot through a remote
+CAS.  Deletes leave a tombstone (``key_len`` of ``2**63-1``) so linear
+probing keeps finding later entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.core.client import Mapping, RStoreClient
+from repro.core.errors import RStoreError
+
+__all__ = ["RKVStore", "KvError", "KvFullError"]
+
+_WORD = 8
+_TOMBSTONE = (1 << 63) - 1
+#: linear-probe window before declaring the table full for a key
+_PROBE_LIMIT = 16
+#: optimistic-read retries before giving up (a writer livelocking us
+#: this long means something is deeply wrong in simulation)
+_READ_RETRIES = 64
+
+
+class KvError(RStoreError):
+    """Key-value layer failure."""
+
+
+class KvFullError(KvError):
+    """No free slot within the probe window for this key."""
+
+
+def _hash64(key: bytes) -> int:
+    return int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(),
+                          "little")
+
+
+class RKVStore:
+    """A fixed-capacity hash table shared by any number of clients."""
+
+    def __init__(self, client: RStoreClient, name: str, mapping: Mapping,
+                 slots: int, key_size: int, value_size: int):
+        self.client = client
+        self.name = name
+        self.mapping = mapping
+        self.slots = slots
+        self.key_size = key_size
+        self.value_size = value_size
+        self.slot_size = self._slot_size(key_size, value_size)
+        # -- client-local metrics
+        self.read_retries = 0
+        self.lock_retries = 0
+
+    # -- construction ----------------------------------------------------------
+
+    @staticmethod
+    def _slot_size(key_size: int, value_size: int) -> int:
+        def pad(n):
+            return -(-n // _WORD) * _WORD
+
+        return _WORD + _WORD + pad(key_size) + _WORD + pad(value_size)
+
+    @classmethod
+    def create(cls, client: RStoreClient, name: str, slots: int,
+               key_size: int = 32, value_size: int = 128):
+        """Allocate and map a fresh table (generator)."""
+        if slots < 1:
+            raise KvError("need at least one slot")
+        slot_size = cls._slot_size(key_size, value_size)
+        # stripe on a slot boundary so no slot (and no version word)
+        # ever straddles two memory servers
+        base_stripe = max(client.config.stripe_size, slot_size)
+        stripe_size = (base_stripe // slot_size) * slot_size
+        region_size = slots * slot_size
+        yield from client.alloc(f"kv.{name}", region_size,
+                                stripe_size=stripe_size)
+        mapping = yield from client.map(f"kv.{name}")
+        store = cls(client, name, mapping, slots, key_size, value_size)
+        yield from client.notify(
+            f"kv.{name}.meta",
+            {"slots": slots, "key_size": key_size, "value_size": value_size},
+        )
+        return store
+
+    @classmethod
+    def open(cls, client: RStoreClient, name: str):
+        """Map an existing table from another client (generator)."""
+        meta = yield from client.wait_note(f"kv.{name}.meta")
+        mapping = yield from client.map(f"kv.{name}")
+        return cls(client, name, mapping, meta["slots"], meta["key_size"],
+                   meta["value_size"])
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _check_key(self, key: bytes) -> None:
+        if not key:
+            raise KvError("empty keys are not allowed")
+        if len(key) > self.key_size:
+            raise KvError(
+                f"key of {len(key)} bytes exceeds slot key size "
+                f"{self.key_size}"
+            )
+
+    def _slot_offset(self, index: int) -> int:
+        return (index % self.slots) * self.slot_size
+
+    def _parse(self, blob: bytes):
+        version = int.from_bytes(blob[0:8], "little")
+        key_len = int.from_bytes(blob[8:16], "little")
+        key_area = 8 + 8
+        pad_key = -(-self.key_size // _WORD) * _WORD
+        key = blob[key_area : key_area + key_len] if key_len not in (
+            0, _TOMBSTONE
+        ) else b""
+        val_off = key_area + pad_key
+        val_len = int.from_bytes(blob[val_off : val_off + 8], "little")
+        value = blob[val_off + 8 : val_off + 8 + val_len]
+        return version, key_len, key, value
+
+    def _encode_body(self, key: bytes, value: bytes, tombstone=False) -> bytes:
+        pad_key = -(-self.key_size // _WORD) * _WORD
+        pad_val = -(-self.value_size // _WORD) * _WORD
+        key_len = _TOMBSTONE if tombstone else len(key)
+        body = key_len.to_bytes(8, "little")
+        body += key.ljust(pad_key, b"\0")
+        body += len(value).to_bytes(8, "little")
+        body += value.ljust(pad_val, b"\0")
+        return body
+
+    def _read_slot(self, index: int):
+        """Optimistically read one consistent slot snapshot (generator)."""
+        offset = self._slot_offset(index)
+        for _attempt in range(_READ_RETRIES):
+            blob = yield from self.mapping.read(offset, self.slot_size)
+            version, key_len, key, value = self._parse(blob)
+            if version % 2 == 1:
+                self.read_retries += 1
+                continue
+            check = yield from self.mapping.read(offset, _WORD)
+            if int.from_bytes(check, "little") == version:
+                return version, key_len, key, value
+            self.read_retries += 1
+        raise KvError(f"slot {index} kept changing under {_READ_RETRIES} reads")
+
+    def _lock_slot(self, index: int, expected_version: int):
+        """Try to CAS-lock a slot (generator); returns success."""
+        offset = self._slot_offset(index)
+        old = yield from self.mapping.cas(
+            offset, expected_version, expected_version + 1
+        )
+        if old != expected_version:
+            self.lock_retries += 1
+            return False
+        return True
+
+    def _unlock_slot(self, index: int, locked_version: int):
+        """Publish the new contents: version -> next even (generator)."""
+        assert locked_version % 2 == 1, "unlocking a slot we never locked"
+        offset = self._slot_offset(index)
+        new_version = locked_version + 1
+        yield from self.mapping.write(
+            offset, new_version.to_bytes(8, "little")
+        )
+
+    # -- the API -------------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes):
+        """Insert or overwrite (generator)."""
+        self._check_key(key)
+        if len(value) > self.value_size:
+            raise KvError(
+                f"value of {len(value)} bytes exceeds slot value size "
+                f"{self.value_size}"
+            )
+        base = _hash64(key)
+        while True:
+            target = None
+            for probe in range(_PROBE_LIMIT):
+                index = (base + probe) % self.slots
+                version, key_len, slot_key, _v = yield from self._read_slot(index)
+                if key_len == 0 or key_len == _TOMBSTONE or slot_key == key:
+                    target = (index, version)
+                    break
+            if target is None:
+                raise KvFullError(
+                    f"no slot for key within {_PROBE_LIMIT} probes"
+                )
+            index, version = target
+            locked = yield from self._lock_slot(index, version)
+            if not locked:
+                continue  # lost the race; re-probe from scratch
+            # guard against a racing writer having claimed the slot for
+            # a different key between our read and our lock
+            offset = self._slot_offset(index)
+            blob = yield from self.mapping.read(offset, self.slot_size)
+            _v, cur_len, cur_key, _val = self._parse(blob)
+            if cur_len not in (0, _TOMBSTONE) and cur_key != key:
+                # a racing writer claimed this slot for another key
+                # between our probe and our lock: restore the original
+                # version (contents untouched) and re-probe
+                yield from self.mapping.write(
+                    offset, version.to_bytes(8, "little")
+                )
+                continue
+            yield from self.mapping.write(
+                offset + _WORD, self._encode_body(key, value)
+            )
+            yield from self._unlock_slot(index, version + 1)
+            return
+
+    def get(self, key: bytes):
+        """Lookup (generator); returns the value or ``None``."""
+        self._check_key(key)
+        base = _hash64(key)
+        for probe in range(_PROBE_LIMIT):
+            index = (base + probe) % self.slots
+            _version, key_len, slot_key, value = yield from self._read_slot(index)
+            if key_len == 0:
+                return None  # never-used slot terminates the probe chain
+            if key_len == _TOMBSTONE:
+                continue
+            if slot_key == key:
+                return value
+        return None
+
+    def delete(self, key: bytes):
+        """Remove (generator); returns whether the key existed."""
+        self._check_key(key)
+        base = _hash64(key)
+        while True:
+            found = None
+            for probe in range(_PROBE_LIMIT):
+                index = (base + probe) % self.slots
+                version, key_len, slot_key, _v = yield from self._read_slot(index)
+                if key_len == 0:
+                    return False
+                if key_len != _TOMBSTONE and slot_key == key:
+                    found = (index, version)
+                    break
+            if found is None:
+                return False
+            index, version = found
+            locked = yield from self._lock_slot(index, version)
+            if not locked:
+                continue
+            offset = self._slot_offset(index)
+            yield from self.mapping.write(
+                offset + _WORD, self._encode_body(b"", b"", tombstone=True)
+            )
+            yield from self._unlock_slot(index, version + 1)
+            return True
+
+    def contains(self, key: bytes):
+        """Membership test (generator)."""
+        value = yield from self.get(key)
+        return value is not None

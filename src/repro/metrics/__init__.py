@@ -1,0 +1,6 @@
+"""Measurement utilities for simulated-time experiments."""
+
+from repro.metrics.stats import Recorder, Summary, percentile, summarize
+from repro.metrics.timeline import Timeline
+
+__all__ = ["Recorder", "Summary", "Timeline", "percentile", "summarize"]

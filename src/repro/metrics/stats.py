@@ -1,0 +1,107 @@
+"""Latency/throughput statistics over simulated time.
+
+The numbers the benchmarks report come from here: every sample is a
+simulated-time measurement, never wall-clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["percentile", "Summary", "summarize", "Recorder"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The *q*-th percentile (0..100) by linear interpolation."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile {q} out of range")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    # lo + (hi - lo) * frac is exact when the two samples are equal
+    # (the a*(1-f) + b*f form can exceed b by one ulp)
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
+
+
+@dataclass
+class Summary:
+    """Standard summary of a latency sample set (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def scaled(self, factor: float) -> "Summary":
+        """The same summary in another unit (e.g. 1e6 for microseconds)."""
+        return Summary(
+            count=self.count,
+            mean=self.mean * factor,
+            p50=self.p50 * factor,
+            p95=self.p95 * factor,
+            p99=self.p99 * factor,
+            minimum=self.minimum * factor,
+            maximum=self.maximum * factor,
+        )
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    if not samples:
+        raise ValueError("no samples")
+    return Summary(
+        count=len(samples),
+        mean=sum(samples) / len(samples),
+        p50=percentile(samples, 50),
+        p95=percentile(samples, 95),
+        p99=percentile(samples, 99),
+        minimum=min(samples),
+        maximum=max(samples),
+    )
+
+
+class Recorder:
+    """Collects (simulated) timing samples and byte counts."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.samples: list[float] = []
+        self.bytes: int = 0
+        self._open: dict[object, float] = {}
+
+    def start(self, token: object = None) -> object:
+        token = token if token is not None else object()
+        self._open[token] = self.sim.now
+        return token
+
+    def stop(self, token: object, nbytes: int = 0) -> float:
+        began = self._open.pop(token)
+        elapsed = self.sim.now - began
+        self.samples.append(elapsed)
+        self.bytes += nbytes
+        return elapsed
+
+    def add(self, elapsed: float, nbytes: int = 0) -> None:
+        self.samples.append(elapsed)
+        self.bytes += nbytes
+
+    def summary(self) -> Summary:
+        return summarize(self.samples)
+
+    def throughput_bps(self, elapsed: float) -> float:
+        """Aggregate goodput over *elapsed* seconds (bits/s)."""
+        if elapsed <= 0:
+            return 0.0
+        return self.bytes * 8.0 / elapsed

@@ -1,0 +1,54 @@
+"""Time-bucketed counters: bandwidth/ops over simulated time.
+
+Used by the CLI's sweeps to show how throughput evolves during a run
+(ramp-up, steady state, tail), the way the paper's timeline figures do.
+"""
+
+from __future__ import annotations
+
+from repro.simnet.kernel import Simulator
+
+__all__ = ["Timeline"]
+
+class Timeline:
+    """Accumulates per-bucket byte/op counts against the simulated clock."""
+
+    def __init__(self, sim: Simulator, bucket_s: float = 0.01):
+        if bucket_s <= 0:
+            raise ValueError(f"bucket must be positive, got {bucket_s}")
+        self.sim = sim
+        self.bucket_s = bucket_s
+        self._origin = sim.now
+        self._bytes: dict[int, int] = {}
+        self._ops: dict[int, int] = {}
+
+    def record(self, nbytes: int = 0, ops: int = 1) -> None:
+        """Attribute *nbytes* and *ops* to the current instant's bucket."""
+        bucket = int((self.sim.now - self._origin) / self.bucket_s)
+        self._bytes[bucket] = self._bytes.get(bucket, 0) + nbytes
+        self._ops[bucket] = self._ops.get(bucket, 0) + ops
+
+    def series(self) -> list[tuple[float, int, int]]:
+        """Dense series of (bucket_start_s, bytes, ops), gaps zero-filled."""
+        if not self._bytes and not self._ops:
+            return []
+        last = max(set(self._bytes) | set(self._ops))
+        return [
+            (
+                bucket * self.bucket_s,
+                self._bytes.get(bucket, 0),
+                self._ops.get(bucket, 0),
+            )
+            for bucket in range(last + 1)
+        ]
+
+    def bandwidth_series_bps(self) -> list[tuple[float, float]]:
+        """(bucket_start_s, bits/s) pairs."""
+        return [
+            (t, nbytes * 8 / self.bucket_s)
+            for t, nbytes, _ops in self.series()
+        ]
+
+    def peak_bandwidth_bps(self) -> float:
+        series = self.bandwidth_series_bps()
+        return max((bps for _t, bps in series), default=0.0)

@@ -1,0 +1,13 @@
+"""Simulated sockets (TCP-like) transport.
+
+The comparison baselines in the paper — sockets-based stores, Hadoop
+TeraSort — run over the kernel network stack.  This package models that
+stack's costs: per-message syscalls and interrupts, payload copies
+through the kernel, and protocol header overhead, all charged against
+the host CPU model.  The asymmetry against the RDMA data path (which
+bypasses the remote CPU entirely) is the paper's core motivation.
+"""
+
+from repro.net.tcp import Socket, TcpModel, TcpStack
+
+__all__ = ["Socket", "TcpModel", "TcpStack"]

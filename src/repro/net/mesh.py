@@ -1,0 +1,41 @@
+"""Full-mesh socket construction between a set of hosts."""
+
+from __future__ import annotations
+
+__all__ = ["build_full_mesh"]
+
+
+def build_full_mesh(sim, stacks: dict[int, object], port: int):
+    """Pairwise sockets among ranks (generator).
+
+    ``stacks`` maps rank -> TcpStack.  Returns ``sockets`` with
+    ``sockets[a][b]`` the socket rank *a* uses to talk to rank *b*.
+    Each connection's first message is the dialing rank, so acceptors
+    can label the socket.
+    """
+    ranks = sorted(stacks)
+    sockets: dict[int, dict[int, object]] = {rank: {} for rank in ranks}
+    listeners = {rank: stacks[rank].listen(port) for rank in ranks}
+
+    def accept_side(rank, expected):
+        for _ in range(expected):
+            sock = yield from listeners[rank].accept()
+            peer = yield from sock.recv()
+            sockets[rank][peer] = sock
+
+    accepts = [
+        sim.process(accept_side(rank, i))
+        for i, rank in enumerate(ranks)
+    ]
+
+    def dial():
+        for i, lo in enumerate(ranks):
+            for hi in ranks[i + 1:]:
+                sock = yield from stacks[lo].connect(stacks[hi], port)
+                yield from sock.send(lo)
+                sockets[lo][hi] = sock
+
+    yield sim.all_of([sim.process(dial()), *accepts])
+    for listener in listeners.values():
+        listener.close()
+    return sockets

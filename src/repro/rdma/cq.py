@@ -1,0 +1,91 @@
+"""Completion queues.
+
+Completions arrive as :class:`WorkCompletion` entries.  Consumers can
+poll non-blockingly (``poll``) like a spinning verbs application, or
+wait event-driven (``next_completion`` / ``wait_for``) like an app using
+a completion channel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.rdma.types import Opcode, WcStatus
+from repro.simnet.kernel import Event, Simulator
+
+__all__ = ["WorkCompletion", "CompletionQueue"]
+
+
+@dataclass
+class WorkCompletion:
+    """One completed work request."""
+
+    wr_id: Any
+    status: WcStatus
+    opcode: Opcode
+    byte_len: int = 0
+    qp: Optional[object] = None
+    #: atomics: the prior value at the remote address
+    atomic_result: Optional[int] = None
+    #: immediate data from RDMA_WRITE_IMM / SEND-with-imm
+    imm_data: Optional[int] = None
+    #: error detail for non-SUCCESS completions
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status is WcStatus.SUCCESS
+
+
+class CompletionQueue:
+    """FIFO of work completions with event-driven waiting."""
+
+    def __init__(self, sim: Simulator, depth: int = 4096):
+        self.sim = sim
+        self.depth = depth
+        self._entries: deque[WorkCompletion] = deque()
+        self._waiters: deque[Event] = deque()
+        #: total completions ever pushed (for metrics/tests)
+        self.total_completions = 0
+        self.overflowed = False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, wc: WorkCompletion) -> None:
+        """Deliver a completion (called by the NIC at completion time)."""
+        self.total_completions += 1
+        if self._waiters:
+            self._waiters.popleft().succeed(wc)
+            return
+        if len(self._entries) >= self.depth:
+            # Real hardware transitions the CQ to error; remember it so
+            # tests can assert the overflow was noticed.
+            self.overflowed = True
+        self._entries.append(wc)
+
+    def poll(self, max_entries: int = 16) -> list[WorkCompletion]:
+        """Non-blocking poll, like ``ibv_poll_cq``."""
+        out = []
+        while self._entries and len(out) < max_entries:
+            out.append(self._entries.popleft())
+        return out
+
+    def next_completion(self) -> Event:
+        """An event that fires with the next completion."""
+        event = Event(self.sim)
+        if self._entries:
+            event.succeed(self._entries.popleft())
+        else:
+            self._waiters.append(event)
+        return event
+
+    def wait_for(self, n: int = 1):
+        """Generator: wait until *n* completions arrive; returns them."""
+        out = []
+        while len(out) < n:
+            wc = yield self.next_completion()
+            out.append(wc)
+        return out

@@ -1,0 +1,485 @@
+"""The RDMA NIC: control-path verbs and the offloaded data path.
+
+Control-path methods (``alloc_pd``, ``reg_mr``, ``create_qp``, …) are
+generators that charge realistic setup latencies — this is the "resource
+setup" half of RDMA's separation philosophy.
+
+The data path is fully offloaded: once a work request is posted, the
+NIC engine model (an analytic busy-time chain, like a link channel)
+processes WQEs in order, moves frames across the fabric, executes
+one-sided operations against the *remote NIC's* memory table without
+ever touching the remote CPU model, and raises completions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.rdma.cq import CompletionQueue, WorkCompletion
+from repro.rdma.device import NicModel
+from repro.rdma.memory import Buffer, HostMemory, MemoryRegion
+from repro.rdma.pd import ProtectionDomain
+from repro.rdma.qp import QueuePair
+from repro.rdma.types import Access, Opcode, QpState, RdmaError, WcStatus
+from repro.rdma.wr import RecvWR, SendWR
+from repro.simnet.kernel import Simulator
+from repro.simnet.topology import Host, Network
+
+__all__ = ["RNic"]
+
+
+class RNic:
+    """One host's RDMA NIC."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        network: Network,
+        model: Optional[NicModel] = None,
+    ):
+        self.sim = sim
+        self.host = host
+        self.network = network
+        self.model = model or NicModel()
+        self.memory = HostMemory(host.host_id)
+        self.alive = True
+        self._engine_busy_until = 0.0
+        #: rkey -> MemoryRegion, the NIC's translation/permission table
+        self.mr_by_rkey: dict[int, MemoryRegion] = {}
+        # -- metrics
+        self.ops_posted = 0
+        self.ops_completed = 0
+        self.bytes_sent = 0
+        host.services["rnic"] = self
+
+    # ------------------------------------------------------------------
+    # control path (generators charging setup time)
+    # ------------------------------------------------------------------
+
+    def alloc_pd(self):
+        """Allocate a protection domain (generator)."""
+        yield self.sim.timeout(self.model.alloc_pd_s)
+        return ProtectionDomain(self)
+
+    def create_cq(self, depth: int = 4096):
+        """Create a completion queue (generator)."""
+        yield self.sim.timeout(self.model.create_cq_s)
+        return CompletionQueue(self.sim, depth)
+
+    def reg_mr(
+        self,
+        pd: ProtectionDomain,
+        length: Optional[int] = None,
+        buffer: Optional[Buffer] = None,
+        access: Access = Access.LOCAL_WRITE,
+    ):
+        """Register a memory region (generator).
+
+        Either pass an existing ``buffer`` or a ``length`` to allocate a
+        fresh one.  Registration cost grows with the page count — the
+        dominant control-path cost the paper's design amortises by
+        registering at allocation/mapping time, never per IO.
+        """
+        if pd.nic is not self:
+            raise RdmaError("PD belongs to a different device")
+        if buffer is None:
+            if length is None:
+                raise RdmaError("reg_mr needs a buffer or a length")
+            buffer = self.memory.alloc(length)
+        elif buffer.host_id != self.host.host_id:
+            raise RdmaError("cannot register another host's memory")
+        mr = MemoryRegion(buffer, access, pd=pd)
+        cost = self.model.reg_mr_base_s + mr.pages * self.model.reg_mr_per_page_s
+        yield self.sim.timeout(cost)
+        self.mr_by_rkey[mr.rkey] = mr
+        pd.regions.append(mr)
+        return mr
+
+    def dereg_mr(self, mr: MemoryRegion):
+        """Deregister (unpin) a memory region (generator)."""
+        mr.deregister()
+        self.mr_by_rkey.pop(mr.rkey, None)
+        yield self.sim.timeout(self.model.reg_mr_base_s / 2)
+
+    def create_qp(
+        self,
+        pd: ProtectionDomain,
+        send_cq: CompletionQueue,
+        recv_cq: Optional[CompletionQueue] = None,
+        sq_depth: int = 128,
+        rq_depth: int = 1024,
+    ):
+        """Create an RC queue pair (generator)."""
+        if pd.nic is not self:
+            raise RdmaError("PD belongs to a different device")
+        yield self.sim.timeout(self.model.create_qp_s)
+        # NB: "recv_cq or send_cq" would be wrong here — an empty
+        # CompletionQueue is falsy (it has __len__).
+        return QueuePair(
+            self,
+            pd,
+            send_cq,
+            send_cq if recv_cq is None else recv_cq,
+            sq_depth=sq_depth,
+            rq_depth=rq_depth,
+        )
+
+    # ------------------------------------------------------------------
+    # data path (event-driven, no generators: the NIC is offloaded)
+    # ------------------------------------------------------------------
+
+    def submit(self, qp: QueuePair, wr: SendWR) -> None:
+        """Accept a posted WQE; called by :meth:`QueuePair.post_send`."""
+        self.ops_posted += 1
+        model = self.model
+        earliest = self.sim.now + model.doorbell_s
+        processing = model.wqe_processing_s
+        if wr.inline_data is not None and len(wr.inline_data) <= model.max_inline:
+            processing = max(0.0, processing - model.inline_saving_s)
+        start = max(earliest, self._engine_busy_until)
+        self._engine_busy_until = start + processing
+        self._after(
+            self._engine_busy_until - self.sim.now, lambda: self._launch(qp, wr)
+        )
+
+    def kill(self) -> None:
+        """Simulate host failure: the NIC stops responding entirely."""
+        self.alive = False
+
+    # -- internal helpers ----------------------------------------------------
+
+    def _after(self, delay: float, fn: Callable[[], None]) -> None:
+        self.sim.timeout(delay).add_callback(lambda _e: fn())
+
+    def _launch(self, qp: QueuePair, wr: SendWR) -> None:
+        if not self.alive:
+            return  # a dead host sends nothing and nobody is listening
+        remote_qp = qp.remote
+        assert remote_qp is not None, "connected QP lost its peer"
+        opcode = wr.opcode
+        if opcode in (Opcode.RDMA_WRITE, Opcode.RDMA_WRITE_IMM):
+            self._launch_write(qp, wr, remote_qp)
+        elif opcode is Opcode.RDMA_READ:
+            self._launch_read(qp, wr, remote_qp)
+        elif opcode in (Opcode.ATOMIC_CAS, Opcode.ATOMIC_FAA):
+            self._launch_atomic(qp, wr, remote_qp)
+        elif opcode is Opcode.SEND:
+            self._launch_send(qp, wr, remote_qp)
+        else:  # pragma: no cover - guarded by WR validation
+            raise RdmaError(f"unsupported opcode {opcode}")
+
+    def _snapshot_payload(self, wr: SendWR) -> bytes:
+        """DMA-read the local payload at launch time (send-side snapshot)."""
+        if wr.inline_data is not None:
+            return bytes(wr.inline_data)
+        if wr.length == 0 or wr.local_mr is None:
+            return b""
+        offset = wr.local_mr.offset_of(wr.local_addr)
+        return wr.local_mr.buffer.read(offset, wr.length)
+
+    def _transmit(self, dst: "RNic", nbytes: int, on_delivered: Callable[[], None]):
+        self.bytes_sent += nbytes
+        self.network.transmit_message(
+            self.host,
+            dst.host,
+            nbytes,
+            header_bytes=self.model.frame_header_bytes,
+            on_delivered=on_delivered,
+        )
+
+    def _send_control(self, dst: "RNic", on_delivered: Callable[[], None]):
+        self._transmit(dst, self.model.control_message_bytes, on_delivered)
+
+    def _complete(
+        self,
+        qp: QueuePair,
+        wr: SendWR,
+        status: WcStatus,
+        byte_len: int = 0,
+        atomic_result: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        self.ops_completed += 1
+        qp._complete_send(
+            wr,
+            WorkCompletion(
+                wr_id=wr.wr_id,
+                status=status,
+                opcode=wr.opcode,
+                byte_len=byte_len,
+                qp=qp,
+                atomic_result=atomic_result,
+                detail=detail,
+            ),
+        )
+
+    def _schedule_retry_failure(self, qp: QueuePair, wr: SendWR) -> None:
+        """The peer is unreachable: complete with RETRY_EXC after timeout."""
+        self._after(
+            self.model.retry_timeout_s,
+            lambda: self._complete(
+                qp,
+                wr,
+                WcStatus.RETRY_EXC_ERR,
+                detail="remote host unreachable",
+            ),
+        )
+
+    def _remote_lookup(
+        self, remote: "RNic", wr: SendWR, need: Access
+    ) -> tuple[Optional[MemoryRegion], str]:
+        mr = remote.mr_by_rkey.get(wr.rkey)
+        if mr is None:
+            return None, f"no memory region with rkey {wr.rkey}"
+        err = mr.check_remote(wr.remote_addr, wr.length, need)
+        if err:
+            return None, err
+        return mr, ""
+
+    def _nak(self, qp: QueuePair, wr: SendWR, remote: "RNic", detail: str) -> None:
+        """Remote-side rejection: error response after a round trip."""
+        remote._send_control(
+            self,
+            lambda: self._after(
+                self.model.completion_s,
+                lambda: self._complete(
+                    qp, wr, WcStatus.REM_ACCESS_ERR, detail=detail
+                ),
+            ),
+        )
+
+    # -- RDMA WRITE ------------------------------------------------------------
+
+    def _launch_write(self, qp: QueuePair, wr: SendWR, remote_qp: QueuePair) -> None:
+        remote = remote_qp.nic
+        payload = self._snapshot_payload(wr)
+
+        def on_data_arrival():
+            if not remote.alive:
+                self._schedule_retry_failure(qp, wr)
+                return
+            mr, err = self._remote_lookup(remote, wr, Access.REMOTE_WRITE)
+            if mr is None:
+                self._nak(qp, wr, remote, err)
+                return
+
+            def do_dma():
+                mr.buffer.write(mr.offset_of(wr.remote_addr), payload)
+                if wr.opcode is Opcode.RDMA_WRITE_IMM:
+                    # the immediate consumes a receive WQE at the target
+                    rwr = remote_qp._take_recv()
+                    if rwr is None:
+                        remote_qp._park_arrival(("imm", None, qp, wr))
+                    else:
+                        remote._match_recv(remote_qp, rwr, "imm", None,
+                                           qp, wr)
+                remote._send_control(
+                    self,
+                    lambda: self._after(
+                        self.model.completion_s,
+                        lambda: self._complete(
+                            qp, wr, WcStatus.SUCCESS, byte_len=wr.length
+                        ),
+                    ),
+                )
+
+            self._after(remote.model.remote_dma_s, do_dma)
+
+        self._transmit(remote, wr.bytes_on_wire, on_data_arrival)
+
+    # -- RDMA READ -------------------------------------------------------------
+
+    def _launch_read(self, qp: QueuePair, wr: SendWR, remote_qp: QueuePair) -> None:
+        remote = remote_qp.nic
+
+        def on_request_arrival():
+            if not remote.alive:
+                self._schedule_retry_failure(qp, wr)
+                return
+            mr, err = self._remote_lookup(remote, wr, Access.REMOTE_READ)
+            if mr is None:
+                self._nak(qp, wr, remote, err)
+                return
+
+            def do_dma():
+                data = mr.buffer.read(mr.offset_of(wr.remote_addr), wr.length)
+
+                def on_response_arrival():
+                    if wr.local_mr is not None and wr.length:
+                        wr.local_mr.buffer.write(
+                            wr.local_mr.offset_of(wr.local_addr), data
+                        )
+                    self._after(
+                        self.model.completion_s,
+                        lambda: self._complete(
+                            qp, wr, WcStatus.SUCCESS, byte_len=wr.length
+                        ),
+                    )
+
+                remote.bytes_sent += wr.bytes_on_wire
+                remote.network.transmit_message(
+                    remote.host,
+                    self.host,
+                    wr.bytes_on_wire,
+                    header_bytes=remote.model.frame_header_bytes,
+                    on_delivered=on_response_arrival,
+                )
+
+            self._after(remote.model.remote_dma_s, do_dma)
+
+        self._send_control(remote, on_request_arrival)
+
+    # -- atomics -----------------------------------------------------------------
+
+    def _launch_atomic(self, qp: QueuePair, wr: SendWR, remote_qp: QueuePair) -> None:
+        remote = remote_qp.nic
+
+        def on_request_arrival():
+            if not remote.alive:
+                self._schedule_retry_failure(qp, wr)
+                return
+            mr, err = self._remote_lookup(remote, wr, Access.REMOTE_ATOMIC)
+            if mr is None:
+                self._nak(qp, wr, remote, err)
+                return
+            if wr.remote_addr % 8 != 0:
+                self._nak(qp, wr, remote, "atomic target not 8-byte aligned")
+                return
+
+            def do_atomic():
+                offset = mr.offset_of(wr.remote_addr)
+                old = int.from_bytes(mr.buffer.read(offset, 8), "little")
+                if wr.opcode is Opcode.ATOMIC_CAS:
+                    if old == wr.compare:
+                        mr.buffer.write(
+                            offset, wr.swap.to_bytes(8, "little", signed=False)
+                        )
+                else:  # fetch-and-add, wrapping at 2^64 like hardware
+                    new = (old + wr.compare) % (1 << 64)
+                    mr.buffer.write(offset, new.to_bytes(8, "little"))
+                if wr.local_mr is not None:
+                    wr.local_mr.buffer.write(
+                        wr.local_mr.offset_of(wr.local_addr),
+                        old.to_bytes(8, "little"),
+                    )
+                remote._send_control(
+                    self,
+                    lambda: self._after(
+                        self.model.completion_s,
+                        lambda: self._complete(
+                            qp,
+                            wr,
+                            WcStatus.SUCCESS,
+                            byte_len=8,
+                            atomic_result=old,
+                        ),
+                    ),
+                )
+
+            self._after(
+                remote.model.remote_dma_s + remote.model.atomic_extra_s, do_atomic
+            )
+
+        self._send_control(remote, on_request_arrival)
+
+    # -- SEND / RECV ---------------------------------------------------------------
+
+    def _launch_send(self, qp: QueuePair, wr: SendWR, remote_qp: QueuePair) -> None:
+        remote = remote_qp.nic
+        payload = self._snapshot_payload(wr)
+
+        def on_data_arrival():
+            if not remote.alive:
+                self._schedule_retry_failure(qp, wr)
+                return
+            if remote_qp.state is not QpState.CONNECTED:
+                self._nak(qp, wr, remote, "remote QP not in connected state")
+                return
+            rwr = remote_qp._take_recv()
+            if rwr is None:
+                # RC would RNR-retry; we park the message until a receive
+                # is posted, at which point matching resumes.
+                remote_qp._park_arrival(("send", payload, qp, wr))
+                return
+            remote._match_recv(remote_qp, rwr, "send", payload, qp, wr)
+
+        self._transmit(remote, wr.bytes_on_wire, on_data_arrival)
+
+    def _match_recv(
+        self,
+        dst_qp: QueuePair,
+        rwr: RecvWR,
+        kind: str,
+        payload: Optional[bytes],
+        src_qp: QueuePair,
+        swr: SendWR,
+    ) -> None:
+        """Consume a posted receive for an arrived SEND or WRITE_IMM
+        (runs on the receiver)."""
+        src_nic = src_qp.nic
+        if kind == "imm":
+            # data already landed one-sidedly; the receive just carries
+            # the immediate and the byte count
+            self._after(
+                self.model.completion_s,
+                lambda: dst_qp.recv_cq.push(
+                    WorkCompletion(
+                        wr_id=rwr.wr_id,
+                        status=WcStatus.SUCCESS,
+                        opcode=Opcode.RECV_RDMA_WITH_IMM,
+                        byte_len=swr.length,
+                        qp=dst_qp,
+                        imm_data=swr.imm_data,
+                    )
+                ),
+            )
+            return
+        assert payload is not None
+        if len(payload) > rwr.length:
+            dst_qp.recv_cq.push(
+                WorkCompletion(
+                    wr_id=rwr.wr_id,
+                    status=WcStatus.LOC_LEN_ERR,
+                    opcode=Opcode.RECV,
+                    byte_len=len(payload),
+                    qp=dst_qp,
+                    detail=f"payload {len(payload)} exceeds recv buffer {rwr.length}",
+                )
+            )
+            dst_qp.set_error("receive buffer too small")
+            self._send_control(
+                src_nic,
+                lambda: src_nic._after(
+                    src_nic.model.completion_s,
+                    lambda: src_nic._complete(
+                        src_qp,
+                        swr,
+                        WcStatus.REM_INV_REQ_ERR,
+                        detail="remote receive buffer too small",
+                    ),
+                ),
+            )
+            return
+        rwr.local_mr.buffer.write(rwr.local_mr.offset_of(rwr.local_addr), payload)
+        self._after(
+            self.model.completion_s,
+            lambda: dst_qp.recv_cq.push(
+                WorkCompletion(
+                    wr_id=rwr.wr_id,
+                    status=WcStatus.SUCCESS,
+                    opcode=Opcode.RECV,
+                    byte_len=len(payload),
+                    qp=dst_qp,
+                )
+            ),
+        )
+        self._send_control(
+            src_nic,
+            lambda: src_nic._after(
+                src_nic.model.completion_s,
+                lambda: src_nic._complete(
+                    src_qp, swr, WcStatus.SUCCESS, byte_len=swr.length
+                ),
+            ),
+        )

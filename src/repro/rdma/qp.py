@@ -1,0 +1,142 @@
+"""Reliable-connected queue pairs.
+
+The model collapses the verbs state machine (INIT/RTR/RTS) into a single
+``CONNECTED`` state entered through the connection manager; the paper's
+systems only ever use RC QPs, fully connected before use.
+
+Ordering follows RC semantics: work requests on one QP execute and
+complete in post order; an error transitions the QP to ``ERROR`` and
+flushes everything still queued.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Optional
+
+from repro.rdma.cq import CompletionQueue, WorkCompletion
+from repro.rdma.types import Opcode, QpError, QpState, RdmaError, WcStatus
+from repro.rdma.wr import RecvWR, SendWR
+
+__all__ = ["QueuePair"]
+
+_qpn_counter = itertools.count(100)
+
+
+class QueuePair:
+    """One end of a reliable connection."""
+
+    def __init__(
+        self,
+        nic,
+        pd,
+        send_cq: CompletionQueue,
+        recv_cq: CompletionQueue,
+        sq_depth: int = 128,
+        rq_depth: int = 1024,
+    ):
+        self.nic = nic
+        self.pd = pd
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.sq_depth = sq_depth
+        self.rq_depth = rq_depth
+        self.qp_num = next(_qpn_counter)
+        self.state = QpState.RESET
+        self.remote: Optional["QueuePair"] = None
+        self.error_reason = ""
+        self._rq: deque[RecvWR] = deque()
+        #: SEND payloads that arrived before a receive was posted
+        self._unmatched: deque[tuple] = deque()
+        self._inflight = 0
+        pd.qps.append(self)
+
+    # -- connection management (driven by the CM) ---------------------------
+
+    def _connect_to(self, remote: "QueuePair") -> None:
+        self.remote = remote
+        self.state = QpState.CONNECTED
+
+    # -- posting -------------------------------------------------------------
+
+    def post_send(self, wr: SendWR) -> None:
+        """Queue a work request on the send queue.
+
+        Raises synchronously for caller bugs (bad WR, wrong state, full
+        SQ); transport/remote failures surface asynchronously as error
+        completions, exactly like the verbs contract.
+        """
+        if self.state is QpState.ERROR:
+            raise QpError(f"QP {self.qp_num} is in error state: {self.error_reason}")
+        if self.state is not QpState.CONNECTED:
+            raise RdmaError(f"QP {self.qp_num} is not connected")
+        if self._inflight >= self.sq_depth:
+            raise RdmaError(
+                f"send queue full ({self.sq_depth} in flight); poll the CQ"
+            )
+        wr.validate()
+        if wr.local_mr is not None and wr.local_mr.pd is not self.pd:
+            raise RdmaError("local MR belongs to a different protection domain")
+        self._inflight += 1
+        self.nic.submit(self, wr)
+
+    def post_recv(self, wr: RecvWR) -> None:
+        if self.state is QpState.ERROR:
+            raise QpError(f"QP {self.qp_num} is in error state: {self.error_reason}")
+        if len(self._rq) >= self.rq_depth:
+            raise RdmaError(f"receive queue full ({self.rq_depth})")
+        if wr.local_mr.pd is not self.pd:
+            raise RdmaError("recv MR belongs to a different protection domain")
+        self._rq.append(wr)
+        if self._unmatched:
+            arrival = self._unmatched.popleft()
+            self.nic._match_recv(self, self._rq.popleft(), *arrival)
+
+    # -- bookkeeping used by the NIC ------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def posted_recvs(self) -> int:
+        return len(self._rq)
+
+    def _take_recv(self) -> Optional[RecvWR]:
+        return self._rq.popleft() if self._rq else None
+
+    def _park_arrival(self, arrival: tuple) -> None:
+        self._unmatched.append(arrival)
+
+    def _complete_send(self, wr: SendWR, wc: WorkCompletion) -> None:
+        """Retire one send-side work request (called at completion time)."""
+        self._inflight -= 1
+        if wr.signaled or not wc.ok:
+            self.send_cq.push(wc)
+        if not wc.ok:
+            self.set_error(wc.detail or wc.status.value)
+
+    def set_error(self, reason: str) -> None:
+        """Transition to ERROR and flush queued receives."""
+        if self.state is QpState.ERROR:
+            return
+        self.state = QpState.ERROR
+        self.error_reason = reason
+        while self._rq:
+            flushed = self._rq.popleft()
+            self.recv_cq.push(
+                WorkCompletion(
+                    wr_id=flushed.wr_id,
+                    status=WcStatus.WR_FLUSH_ERR,
+                    opcode=Opcode.RECV,
+                    qp=self,
+                    detail=reason,
+                )
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<QP {self.qp_num} on {self.nic.host.name} "
+            f"{self.state.value}>"
+        )

@@ -1,0 +1,73 @@
+"""Shared enums and exceptions for the RDMA model."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Opcode", "WcStatus", "QpState", "Access", "RdmaError", "QpError"]
+
+
+class Opcode(enum.Enum):
+    """Work-request / completion opcodes (the subset RStore needs)."""
+
+    SEND = "send"
+    RECV = "recv"
+    RDMA_WRITE = "rdma_write"
+    #: write plus immediate: places data one-sidedly AND consumes a
+    #: receive WQE at the target, raising a recv completion that carries
+    #: the 32-bit immediate — data delivery with a doorbell attached
+    RDMA_WRITE_IMM = "rdma_write_imm"
+    RECV_RDMA_WITH_IMM = "recv_rdma_with_imm"
+    RDMA_READ = "rdma_read"
+    ATOMIC_CAS = "atomic_cas"
+    ATOMIC_FAA = "atomic_faa"
+
+
+#: opcodes executed one-sidedly by the remote NIC, no remote CPU
+ONE_SIDED = frozenset(
+    {Opcode.RDMA_WRITE, Opcode.RDMA_READ, Opcode.ATOMIC_CAS, Opcode.ATOMIC_FAA}
+)
+
+
+class WcStatus(enum.Enum):
+    """Work-completion status codes."""
+
+    SUCCESS = "success"
+    LOC_LEN_ERR = "local_length_error"
+    LOC_PROT_ERR = "local_protection_error"
+    REM_ACCESS_ERR = "remote_access_error"
+    REM_INV_REQ_ERR = "remote_invalid_request"
+    RNR_RETRY_EXC_ERR = "receiver_not_ready"
+    RETRY_EXC_ERR = "transport_retry_exceeded"
+    WR_FLUSH_ERR = "work_request_flushed"
+
+
+class QpState(enum.Enum):
+    """Queue-pair lifecycle (collapsed INIT/RTR/RTS handshake)."""
+
+    RESET = "reset"
+    CONNECTED = "connected"  # RTS: ready to send and receive
+    ERROR = "error"
+
+
+class Access(enum.Flag):
+    """Memory-region access permissions."""
+
+    LOCAL_WRITE = enum.auto()
+    REMOTE_READ = enum.auto()
+    REMOTE_WRITE = enum.auto()
+    REMOTE_ATOMIC = enum.auto()
+
+    @classmethod
+    def all_remote(cls) -> "Access":
+        return (
+            cls.LOCAL_WRITE | cls.REMOTE_READ | cls.REMOTE_WRITE | cls.REMOTE_ATOMIC
+        )
+
+
+class RdmaError(Exception):
+    """Synchronous verbs failure (bad arguments, wrong state, full queue)."""
+
+
+class QpError(RdmaError):
+    """The queue pair is in the ERROR state."""

@@ -1,0 +1,116 @@
+"""Work requests.
+
+A :class:`SendWR` describes one operation posted to a send queue; a
+:class:`RecvWR` describes one receive buffer posted to a receive queue.
+
+``wire_length`` supports the reproduction's scaled experiments: when an
+application simulates data larger than CPython can materialise, it keeps
+real bytes for a representative sample and sets ``wire_length`` to the
+logical transfer size; the fabric charges time for ``wire_length`` while
+the byte copy moves the real payload.  It defaults to the real length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.rdma.memory import MemoryRegion
+from repro.rdma.types import Opcode, RdmaError
+
+__all__ = ["SendWR", "RecvWR"]
+
+
+@dataclass
+class SendWR:
+    """One send-queue work request."""
+
+    opcode: Opcode
+    wr_id: Any = None
+    #: local memory: region plus an address *within* it
+    local_mr: Optional[MemoryRegion] = None
+    local_addr: int = 0
+    length: int = 0
+    #: remote memory (one-sided ops only)
+    remote_addr: int = 0
+    rkey: int = 0
+    #: request a completion on the send CQ (unsignaled sends skip it)
+    signaled: bool = True
+    #: atomics: compare/swap operands (CAS) or the addend (FAA)
+    compare: int = 0
+    swap: int = 0
+    #: small payload carried inside the WQE instead of a local MR
+    inline_data: Optional[bytes] = None
+    #: 32-bit immediate delivered with RDMA_WRITE_IMM
+    imm_data: int = 0
+    #: logical size on the wire; defaults to ``length`` (see module doc)
+    wire_length: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.opcode is Opcode.RECV:
+            raise RdmaError("RECV is posted via post_recv, not post_send")
+        if self.opcode in (Opcode.ATOMIC_CAS, Opcode.ATOMIC_FAA):
+            if self.length not in (0, 8):
+                raise RdmaError("atomics operate on exactly 8 bytes")
+            self.length = 8
+        if self.inline_data is not None:
+            if self.local_mr is not None:
+                raise RdmaError("inline sends do not take a local MR")
+            self.length = len(self.inline_data)
+        elif self.opcode is not Opcode.ATOMIC_FAA and self.length < 0:
+            raise RdmaError(f"negative length {self.length}")
+        atomic = self.opcode in (Opcode.ATOMIC_CAS, Opcode.ATOMIC_FAA)
+        if (
+            self.length > 0
+            and self.inline_data is None
+            and self.local_mr is None
+            and not atomic
+        ):
+            # Atomics are exempt: the old value returns in the completion
+            # (and lands in local memory only when a local MR is given).
+            raise RdmaError("non-inline work request needs a local MR")
+        if self.local_mr is not None:
+            err = _check_local(self.local_mr, self.local_addr, self.length)
+            if err:
+                raise RdmaError(err)
+        if self.wire_length is not None and self.wire_length < self.length:
+            raise RdmaError(
+                f"wire_length {self.wire_length} smaller than payload "
+                f"{self.length}"
+            )
+
+    @property
+    def bytes_on_wire(self) -> int:
+        return self.wire_length if self.wire_length is not None else self.length
+
+
+@dataclass
+class RecvWR:
+    """One receive-queue work request (a landing buffer for SENDs)."""
+
+    local_mr: MemoryRegion
+    local_addr: int = 0
+    length: int = 0
+    wr_id: Any = None
+
+    def __post_init__(self):
+        if self.local_addr == 0:
+            self.local_addr = self.local_mr.addr
+        if self.length == 0:
+            self.length = self.local_mr.length - (
+                self.local_addr - self.local_mr.addr
+            )
+        err = _check_local(self.local_mr, self.local_addr, self.length)
+        if err:
+            raise RdmaError(err)
+
+
+def _check_local(mr: MemoryRegion, addr: int, length: int) -> Optional[str]:
+    if not mr.valid:
+        return "local memory region has been deregistered"
+    if addr < mr.addr or addr + length > mr.addr + mr.length:
+        return (
+            f"local access [{addr:#x}, +{length}) outside region "
+            f"[{mr.addr:#x}, +{mr.length})"
+        )
+    return None

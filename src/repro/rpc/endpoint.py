@@ -1,0 +1,307 @@
+"""RPC endpoints over the RDMA message channel and over TCP sockets.
+
+Handlers are generator functions registered by name::
+
+    def lookup(key):
+        yield from host.cpu.run(us(1))
+        return table[key]
+
+    server.register("lookup", lookup)
+
+Clients call them with ``result = yield from client.call("lookup", key)``.
+Remote exceptions re-raise locally as :class:`RpcRemoteError`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from repro.rdma.cm import ConnectionManager
+from repro.rdma.nic import RNic
+from repro.rdma.qp import QueuePair
+from repro.rpc.channel import ChannelClosed, RdmaMsgChannel
+from repro.rpc.message import RpcRequest, RpcResponse
+from repro.simnet.config import KiB, us
+from repro.simnet.kernel import Event, Simulator
+
+__all__ = [
+    "RpcError",
+    "RpcRemoteError",
+    "RpcTimeout",
+    "RpcServer",
+    "RpcClient",
+    "TcpRpcServer",
+    "TcpRpcClient",
+]
+
+#: CPU time a server spends dispatching one request (lookup + scheduling)
+DISPATCH_CPU_S = us(1.0)
+
+
+class RpcError(Exception):
+    """Local RPC failure (connection lost, protocol violation)."""
+
+
+class RpcTimeout(RpcError):
+    """The call did not complete within its deadline."""
+
+
+class RpcRemoteError(RpcError):
+    """The handler raised on the remote side."""
+
+    def __init__(self, error_type: str, message: str):
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.remote_message = message
+
+
+class _HandlerRegistry:
+    """Shared method table for both transports."""
+
+    def __init__(self):
+        self._handlers: dict[str, Callable] = {}
+
+    def register(self, method: str, handler: Callable) -> None:
+        """Register a generator function under *method*."""
+        if method in self._handlers:
+            raise ValueError(f"handler {method!r} already registered")
+        self._handlers[method] = handler
+
+    def dispatch(self, request: RpcRequest):
+        """Run the handler (generator); returns an RpcResponse."""
+        handler = self._handlers.get(request.method)
+        if handler is None:
+            return RpcResponse(
+                call_id=request.call_id,
+                error=f"no such method {request.method!r}",
+                error_type="LookupError",
+            )
+        try:
+            result = yield from handler(*request.args)
+        except Exception as exc:  # noqa: BLE001 - faithfully forwarded
+            return RpcResponse(
+                call_id=request.call_id,
+                error=str(exc),
+                error_type=type(exc).__name__,
+            )
+        return RpcResponse(call_id=request.call_id, result=result)
+
+
+# ---------------------------------------------------------------------------
+# RDMA transport
+# ---------------------------------------------------------------------------
+
+
+class RpcServer(_HandlerRegistry):
+    """RPC service over RDMA SEND/RECV (the control-plane transport)."""
+
+    def __init__(self, sim: Simulator, nic: RNic, cm: ConnectionManager,
+                 service_id: str, msg_size: int = 64 * KiB):
+        super().__init__()
+        self.sim = sim
+        self.nic = nic
+        self.cm = cm
+        self.service_id = service_id
+        self.msg_size = msg_size
+        self.requests_served = 0
+
+    def start(self):
+        """Begin listening (generator)."""
+        pd = yield from self.nic.alloc_pd()
+        # Listener-level CQs are placeholders; each accepted connection
+        # gets dedicated CQs so its dispatcher can wait undisturbed.
+        cq = yield from self.nic.create_cq()
+        self.cm.listen(
+            self.nic,
+            self.service_id,
+            pd,
+            cq,
+            # a generator: the CM completes it before acknowledging REP
+            on_connect=self._accept,
+        )
+        return self
+
+    def _accept(self, qp: QueuePair):
+        qp.send_cq = yield from self.nic.create_cq()
+        qp.recv_cq = yield from self.nic.create_cq()
+        channel = RdmaMsgChannel(self.nic, qp, msg_size=self.msg_size)
+        yield from channel.prepare()
+        self.sim.process(
+            self._serve(channel), name=f"rpc-serve-{self.service_id}"
+        )
+
+    def _serve(self, channel: RdmaMsgChannel):
+        while True:
+            try:
+                request = yield from channel.recv()
+            except ChannelClosed:
+                return
+            self.sim.process(self._handle(channel, request))
+
+    def _handle(self, channel: RdmaMsgChannel, request: RpcRequest):
+        yield from self.nic.host.cpu.run(DISPATCH_CPU_S)
+        response = yield from self.dispatch(request)
+        self.requests_served += 1
+        try:
+            yield from channel.send(response, wire_size=response.wire_size)
+        except ChannelClosed:
+            pass  # client died mid-call; nothing to deliver the reply to
+
+
+class RpcClient:
+    """Client half of :class:`RpcServer`."""
+
+    def __init__(self, sim: Simulator, nic: RNic, cm: ConnectionManager):
+        self.sim = sim
+        self.nic = nic
+        self.cm = cm
+        self._channel: Optional[RdmaMsgChannel] = None
+        self._pending: dict[int, Event] = {}
+        self._call_ids = itertools.count(1)
+        self.calls_made = 0
+
+    def connect(self, remote_host_id: int, service_id: str,
+                msg_size: int = 64 * KiB):
+        """Establish the connection (generator)."""
+        self._channel = yield from RdmaMsgChannel.connect(
+            self.cm, self.nic, remote_host_id, service_id, msg_size=msg_size
+        )
+        self.sim.process(self._dispatch_responses(), name="rpc-client-dispatch")
+        return self
+
+    @property
+    def connected(self) -> bool:
+        return self._channel is not None and not self._channel.closed
+
+    def _dispatch_responses(self):
+        assert self._channel is not None
+        while True:
+            try:
+                response = yield from self._channel.recv()
+            except ChannelClosed as exc:
+                for future in self._pending.values():
+                    if not future.triggered:
+                        future.fail(RpcError(str(exc)))
+                self._pending.clear()
+                return
+            future = self._pending.pop(response.call_id, None)
+            if future is not None and not future.triggered:
+                future.succeed(response)
+
+    def call(self, method: str, *args, wire_size: Optional[int] = None,
+             timeout: Optional[float] = None):
+        """Invoke a remote method (generator); returns its result."""
+        if self._channel is None:
+            raise RpcError("client is not connected")
+        call_id = next(self._call_ids)
+        request = RpcRequest(call_id=call_id, method=method, args=args,
+                             wire_size=wire_size)
+        future = self.sim.event()
+        self._pending[call_id] = future
+        self.calls_made += 1
+        try:
+            yield from self._channel.send(request, wire_size=wire_size)
+        except ChannelClosed:
+            # Nobody will ever wait on the future; drop it before the
+            # dispatcher fails it into the void.
+            self._pending.pop(call_id, None)
+            raise RpcError("connection lost while sending the request")
+        if timeout is None:
+            response = yield future
+        else:
+            deadline = self.sim.timeout(timeout)
+            yield self.sim.any_of([future, deadline])
+            if not future.processed:
+                self._pending.pop(call_id, None)
+                raise RpcTimeout(f"{method} did not complete in {timeout}s")
+            response = future.value
+        if response.error is not None:
+            raise RpcRemoteError(response.error_type, response.error)
+        return response.result
+
+
+# ---------------------------------------------------------------------------
+# TCP transport (for the sockets baselines)
+# ---------------------------------------------------------------------------
+
+
+class TcpRpcServer(_HandlerRegistry):
+    """The same RPC service over the sockets model."""
+
+    def __init__(self, sim: Simulator, stack, port: int):
+        super().__init__()
+        self.sim = sim
+        self.stack = stack
+        self.port = port
+        self.requests_served = 0
+
+    def start(self):
+        listener = self.stack.listen(self.port)
+        self.sim.process(self._accept_loop(listener), name="tcp-rpc-accept")
+        return self
+
+    def _accept_loop(self, listener):
+        while True:
+            sock = yield from listener.accept()
+            self.sim.process(self._serve(sock), name="tcp-rpc-serve")
+
+    def _serve(self, sock):
+        while True:
+            request = yield from sock.recv()
+            if request is None:
+                return
+            self.sim.process(self._handle(sock, request))
+
+    def _handle(self, sock, request: RpcRequest):
+        yield from self.stack.host.cpu.run(DISPATCH_CPU_S)
+        response = yield from self.dispatch(request)
+        self.requests_served += 1
+        yield from sock.send(response, wire_size=response.wire_size)
+
+
+class TcpRpcClient:
+    """Client half of :class:`TcpRpcServer`."""
+
+    def __init__(self, sim: Simulator, stack):
+        self.sim = sim
+        self.stack = stack
+        self._sock = None
+        self._pending: dict[int, Event] = {}
+        self._call_ids = itertools.count(1)
+
+    def connect(self, remote_stack, port: int):
+        """Open the connection (generator)."""
+        self._sock = yield from self.stack.connect(remote_stack, port)
+        self.sim.process(self._dispatch_responses(), name="tcp-rpc-dispatch")
+        return self
+
+    def _dispatch_responses(self):
+        while True:
+            response = yield from self._sock.recv()
+            if response is None:
+                for future in self._pending.values():
+                    if not future.triggered:
+                        future.fail(RpcError("connection closed"))
+                self._pending.clear()
+                return
+            future = self._pending.pop(response.call_id, None)
+            if future is not None and not future.triggered:
+                future.succeed(response)
+
+    def call(self, method: str, *args, wire_size: Optional[int] = None):
+        """Invoke a remote method (generator); returns its result."""
+        if self._sock is None:
+            raise RpcError("client is not connected")
+        call_id = next(self._call_ids)
+        future = self.sim.event()
+        self._pending[call_id] = future
+        yield from self._sock.send(
+            RpcRequest(call_id=call_id, method=method, args=args,
+                       wire_size=wire_size),
+            wire_size=wire_size,
+        )
+        response = yield future
+        if response.error is not None:
+            raise RpcRemoteError(response.error_type, response.error)
+        return response.result

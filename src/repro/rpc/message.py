@@ -1,0 +1,44 @@
+"""RPC wire messages.
+
+Requests and responses are pickled for transmission, which gives every
+message an honest byte size without hand-maintained size tables.  The
+optional ``wire_size`` override follows the repository-wide convention
+for scaled experiments.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["RpcRequest", "RpcResponse", "encoded", "decoded"]
+
+
+@dataclass
+class RpcRequest:
+    call_id: int
+    method: str
+    args: tuple = ()
+    #: logical payload size; None means "the pickled size"
+    wire_size: Optional[int] = None
+
+
+@dataclass
+class RpcResponse:
+    call_id: int
+    result: Any = None
+    #: stringified remote exception, None on success
+    error: Optional[str] = None
+    error_type: str = ""
+    wire_size: Optional[int] = None
+
+
+def encoded(message: Any) -> bytes:
+    """Serialize a message for the wire."""
+    return pickle.dumps(message)
+
+
+def decoded(payload: bytes) -> Any:
+    """Deserialize a wire payload."""
+    return pickle.loads(payload)

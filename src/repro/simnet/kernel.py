@@ -1,0 +1,400 @@
+"""The discrete-event simulation kernel.
+
+A small, self-contained kernel in the style of simpy: simulated
+activities are Python generators ("processes") that ``yield`` events.
+The :class:`Simulator` owns the virtual clock and an event queue; it
+advances time by popping the earliest scheduled event and running its
+callbacks, which typically resume the processes waiting on it.
+
+Design notes
+------------
+* Time is a ``float`` in **seconds**.  Data sizes elsewhere in the code
+  base are ``int`` **bytes**; rates are bits/second.
+* Events scheduled for the same instant run in FIFO order of scheduling
+  (a monotonically increasing sequence number breaks heap ties), so
+  simulations are fully deterministic.
+* A failed event whose exception is never delivered to a waiting process
+  re-raises out of :meth:`Simulator.run` — errors never pass silently.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Simulator",
+    "SimulationError",
+]
+
+_PENDING = object()
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel itself."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """An occurrence at a point in simulated time.
+
+    Events start *pending*; they become *triggered* once scheduled with a
+    value (or an exception) and *processed* once the simulator has run
+    their callbacks.  Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed", "defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        #: callables invoked with the event when it is processed
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._processed = False
+        #: set when a failure has been delivered to a process and should
+        #: not also crash the simulation
+        self.defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded.  Only meaningful once triggered."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, scheduling it for *now*."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay=0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception, scheduling it for *now*."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay=0.0)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run *callback(event)* when the event is processed.
+
+        If the event was already processed the callback is scheduled to
+        run immediately (at the current simulated instant) rather than
+        being lost — this makes already-completed events safe to wait on.
+        """
+        if self._processed:
+            self.sim._schedule_call(callback, self)
+        else:
+            assert self.callbacks is not None
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "processed"
+            if self._processed
+            else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """Wraps a generator; the event triggers when the generator returns.
+
+    The generator's ``return`` value becomes the event value, so parent
+    processes can do ``result = yield from sub()`` or wait on a spawned
+    process with ``result = yield proc``.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "name")
+
+    def __init__(
+        self, sim: "Simulator", generator: Generator, name: str = ""
+    ):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick the process off at the current instant.
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        sim._schedule(init, delay=0.0)
+        init.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already terminated")
+        if self._waiting_on is None:
+            # The process is just starting (or being resumed this very
+            # instant); deliver the interrupt right after.
+            hit = Event(self.sim)
+            hit._ok = False
+            hit._value = Interrupt(cause)
+            hit.defused = True
+            self.sim._schedule(hit, delay=0.0)
+            hit.add_callback(self._resume)
+            return
+        target = self._waiting_on
+        if target.callbacks is None:
+            # The awaited event has fired and the resume is already in
+            # flight; the interrupt arrives too late to matter.
+            return
+        if self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        hit = Event(self.sim)
+        hit._ok = False
+        hit._value = Interrupt(cause)
+        hit.defused = True
+        self.sim._schedule(hit, delay=0.0)
+        hit.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event.defused = True
+            return
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if event._ok:
+                target = self.generator.send(event._value)
+            else:
+                event.defused = True
+                target = self.generator.throw(event._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            self._ok = False
+            self._value = exc
+            self.sim._schedule(self, delay=0.0)
+            return
+        self.sim._active_process = None
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes may "
+                "only yield Event instances"
+            )
+            self.generator.throw(exc)
+            raise exc
+        if target.sim is not self.sim:
+            raise SimulationError("cannot wait on an event from another simulator")
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Condition(Event):
+    """Waits on a set of events until an evaluation predicate holds."""
+
+    __slots__ = ("events", "_count", "_needed")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], needed: int):
+        super().__init__(sim)
+        self.events = list(events)
+        self._count = 0
+        self._needed = min(needed, len(self.events)) if self.events else 0
+        if not self.events:
+            self.succeed([])
+            return
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                # Nobody will look at this failure through the condition.
+                event.defused = True
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count >= self._needed:
+            # Only events that have actually fired (been processed) count;
+            # Timeouts carry their value from construction, so checking
+            # ``triggered`` would leak future values.
+            self.succeed([e._value for e in self.events if e._processed and e._ok])
+
+
+class AllOf(Condition):
+    """Triggers when every event has succeeded; fails fast on any failure."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        events = list(events)
+        super().__init__(sim, events, needed=len(events))
+
+
+class AnyOf(Condition):
+    """Triggers when at least one event has succeeded."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, needed=1)
+
+
+class Simulator:
+    """Owns the virtual clock, the event queue, and process scheduling."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event construction ------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start *generator* as a new process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    def _schedule_call(self, callback: Callable[[Event], None], event: Event) -> None:
+        """Schedule a bare callback invocation at the current instant."""
+        proxy = Event(self)
+        proxy._ok = event._ok
+        proxy._value = event._value
+        proxy.defused = True
+        self._schedule(proxy, delay=0.0)
+        proxy.add_callback(lambda _e: callback(event))
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        if not event._ok and not event.defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        ``until`` may be an absolute simulated time or an :class:`Event`
+        (commonly a :class:`Process`); in the latter case the event's
+        value is returned.
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "event queue drained before the awaited event fired "
+                        "(deadlock: a process is waiting on an event nobody "
+                        "will trigger)"
+                    )
+                self.step()
+            if stop._ok:
+                return stop._value
+            raise stop._value
+        deadline = float("inf") if until is None else float(until)
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        if until is not None and self._now < deadline:
+            self._now = deadline
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")

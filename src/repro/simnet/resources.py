@@ -1,0 +1,157 @@
+"""Synchronization resources for simulated processes.
+
+Two primitives cover everything the reproduction needs:
+
+* :class:`Resource` — a counted semaphore (CPU cores, NIC DMA engines,
+  bounded server worker pools).
+* :class:`Store` — an unbounded-or-bounded FIFO of items (message queues,
+  work queues, completion channels).
+
+Both hand out plain :class:`~repro.simnet.kernel.Event` objects so they
+compose with ``yield`` / ``AllOf`` / ``AnyOf`` like any other event.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.simnet.kernel import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Store"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ...  # hold the resource
+        finally:
+            resource.release(req)
+
+    or, for the common hold-for-a-duration pattern::
+
+        yield from resource.occupy(duration)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._users: set[Request] = set()
+        self._waiting: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_len(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        if request not in self._users:
+            raise SimulationError("releasing a request that holds no slot")
+        self._users.remove(request)
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.add(nxt)
+            nxt.succeed()
+
+    def occupy(self, duration: float):
+        """Hold one slot for *duration* simulated seconds (generator)."""
+        req = self.request()
+        yield req
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release(req)
+
+
+class Store:
+    """A FIFO of items with blocking ``get`` and optionally bounded ``put``."""
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """A snapshot of queued items (for inspection in tests)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Queue *item*; the returned event fires once it is accepted."""
+        event = Event(self.sim)
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed()
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """The returned event fires with the oldest available item."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; returns ``None`` when the store is empty."""
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        self._admit_putter()
+        return item
+
+    def _admit_putter(self) -> None:
+        if self._putters and len(self._items) < self.capacity:
+            event, item = self._putters.popleft()
+            if self._getters:
+                self._getters.popleft().succeed(item)
+            else:
+                self._items.append(item)
+            event.succeed()

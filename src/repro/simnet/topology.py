@@ -1,0 +1,201 @@
+"""Cluster topology: hosts behind a single cut-through switch.
+
+The paper's testbed is 12 machines on one FDR switch, so the fabric
+model is deliberately simple: every host has a full-duplex link to one
+switch with an uncongested backplane.  Congestion therefore happens
+exactly where it does on such a pod — at host egress and host ingress.
+
+A frame's journey is computed analytically at send time (one simulator
+event per frame): serialize on the sender's egress channel, cross two
+propagation hops plus the switch latency, serialize on the receiver's
+ingress channel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simnet.config import NetworkConfig
+from repro.simnet.cpu import Cpu
+from repro.simnet.kernel import Event, Simulator
+from repro.simnet.link import Channel
+
+__all__ = ["Host", "Network"]
+
+
+class Host:
+    """A machine: CPU model plus the two directions of its fabric link."""
+
+    def __init__(self, sim: Simulator, host_id: int, config: NetworkConfig):
+        self.sim = sim
+        self.host_id = host_id
+        self.name = f"host{host_id}"
+        self.config = config
+        self.cpu = Cpu(
+            sim,
+            cores=config.cores_per_host,
+            copy_bandwidth_Bps=config.copy_bandwidth_Bps,
+        )
+        self.egress = Channel(sim, config.link_rate_bps, f"{self.name}.tx")
+        self.ingress = Channel(sim, config.link_rate_bps, f"{self.name}.rx")
+        self.loopback = Channel(sim, config.loopback_rate_bps,
+                                f"{self.name}.loop")
+        #: arbitrary attachment point for services (NICs, daemons)
+        self.services: dict[str, object] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Host {self.name}>"
+
+
+class Rack:
+    """A top-of-rack domain with an (optionally oversubscribed) uplink."""
+
+    def __init__(self, sim: Simulator, rack_id: int, num_hosts: int,
+                 config: NetworkConfig):
+        self.rack_id = rack_id
+        uplink_rate = max(
+            config.link_rate_bps,
+            num_hosts * config.link_rate_bps / config.oversubscription,
+        )
+        self.up = Channel(sim, uplink_rate, f"rack{rack_id}.up")
+        self.down = Channel(sim, uplink_rate, f"rack{rack_id}.down")
+
+
+class Network:
+    """The fabric: owns the hosts and moves frames between them.
+
+    With ``config.racks == 1`` (the default, the paper's testbed) every
+    host hangs off one cut-through switch.  With more racks, hosts are
+    assigned round-robin and cross-rack frames additionally traverse the
+    source rack's uplink and the destination rack's downlink, whose
+    capacity is governed by ``config.oversubscription``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_hosts: int,
+        config: Optional[NetworkConfig] = None,
+    ):
+        if num_hosts < 1:
+            raise ValueError(f"need at least one host, got {num_hosts}")
+        self.sim = sim
+        self.config = config or NetworkConfig()
+        self.hosts = [Host(sim, i, self.config) for i in range(num_hosts)]
+        self.racks = [
+            Rack(sim, r, -(-num_hosts // self.config.racks), self.config)
+            for r in range(self.config.racks)
+        ]
+        #: total bytes carried across the switch
+        self.bytes_carried = 0
+        #: total frames carried
+        self.frames_carried = 0
+
+    def rack_of(self, host: Host) -> Rack:
+        return self.racks[host.host_id % self.config.racks]
+
+    def __len__(self) -> int:
+        return len(self.hosts)
+
+    def host(self, host_id: int) -> Host:
+        return self.hosts[host_id]
+
+    @property
+    def one_way_base_delay(self) -> float:
+        """Propagation + switch latency excluding serialization."""
+        cfg = self.config
+        return 2 * cfg.link_prop_delay_s + cfg.switch_latency_s
+
+    def transmit_frame(
+        self,
+        src: Host,
+        dst: Host,
+        nbytes: int,
+        on_delivered: Optional[Callable[[], None]] = None,
+    ) -> Event:
+        """Send one unfragmented frame from *src* to *dst*."""
+        return self.transmit_message(
+            src, dst, nbytes, frame_size=max(nbytes, 1),
+            on_delivered=on_delivered,
+        )
+
+    def transmit_message(
+        self,
+        src: Host,
+        dst: Host,
+        nbytes: int,
+        frame_size: Optional[int] = None,
+        header_bytes: int = 0,
+        on_delivered: Optional[Callable[[], None]] = None,
+    ) -> Event:
+        """Send a whole message, fragmented into frames; one event fires
+        when the **last** frame is delivered.
+
+        The egress chain is computed analytically at send time (no
+        per-frame simulator events).  The *ingress* reservation is
+        deferred to the first frame's arrival: receiver-side channel
+        time is claimed in arrival order, so concurrent senders share a
+        hot receiver fairly instead of in send-call order.  Cost: two
+        simulator events per message regardless of frame count.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        sim = self.sim
+        frame_size = frame_size or self.config.frame_size
+        nframes = max(1, -(-nbytes // frame_size))
+        wire_bytes = nbytes + nframes * header_bytes
+        self.bytes_carried += wire_bytes
+        self.frames_carried += nframes
+        done = Event(sim)
+        if src is dst:
+            finish = src.loopback.reserve(nbytes, earliest=sim.now)
+            sim.timeout(finish - sim.now).add_callback(
+                lambda _e: done.succeed()
+            )
+        else:
+            src_rack = self.rack_of(src)
+            dst_rack = self.rack_of(dst)
+            cross_rack = src_rack is not dst_rack
+            base = self.one_way_base_delay
+            if cross_rack:
+                # two extra hops: ToR -> spine -> ToR
+                base += 2 * self.config.link_prop_delay_s + \
+                    self.config.switch_latency_s
+            frames = []
+            remaining = nbytes
+            for _ in range(nframes):
+                payload = min(frame_size, remaining)
+                remaining -= payload
+                frame_bytes = payload + header_bytes
+                # sender-side chain: host egress, then the rack uplink
+                out_done = src.egress.reserve(frame_bytes, earliest=sim.now)
+                if cross_rack:
+                    out_done = src_rack.up.reserve(frame_bytes,
+                                                   earliest=out_done)
+                frames.append((frame_bytes, out_done))
+            first_arrival = frames[0][1] + base
+
+            def claim_ingress(_event):
+                # receiver-side chain, claimed in arrival order: the
+                # rack downlink (cross-rack only), then host ingress
+                last = sim.now
+                for frame_bytes, out_done in frames:
+                    at = out_done + base
+                    if cross_rack:
+                        at = dst_rack.down.reserve(frame_bytes, earliest=at)
+                    last = dst.ingress.reserve(frame_bytes, earliest=at)
+                sim.timeout(last - sim.now).add_callback(
+                    lambda _e: done.succeed()
+                )
+
+            sim.timeout(first_arrival - sim.now).add_callback(claim_ingress)
+        if on_delivered is not None:
+            done.add_callback(lambda _e: on_delivered())
+        return done
+
+    def aggregate_bandwidth_bps(self, since: float = 0.0) -> float:
+        """Total payload bandwidth carried since *since* (bits/s)."""
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        return self.bytes_carried * 8.0 / elapsed

@@ -1,0 +1,18 @@
+"""The paper's key-value sorter and its Hadoop TeraSort comparator.
+
+``RSort`` keeps everything in distributed DRAM: input, shuffle buffers
+and output are RStore regions.  The shuffle is fully one-sided — a
+sender reserves space in the destination's shuffle region with a remote
+fetch-and-add on a tail counter, then lands its records with RDMA
+writes; the destination's CPU sleeps through the whole exchange.
+
+``TeraSortBaseline`` rebuilds the Hadoop pipeline the paper compares
+against: map from disk, spill sorted runs, shuffle over sockets, merge
+from disk, write output — every pass charged against the disk and CPU
+models.
+"""
+
+from repro.sort.rsort import RSort, SortComputeModel
+from repro.sort.terasort import TeraSortBaseline, TeraSortModel
+
+__all__ = ["RSort", "SortComputeModel", "TeraSortBaseline", "TeraSortModel"]

@@ -1,0 +1,311 @@
+"""RSort: distributed key-value sorting on the memory-like API.
+
+Pipeline (all regions live in RStore):
+
+1. **Read** — each worker pulls its input slice with one-sided reads.
+2. **Sample** — workers publish key samples; the coordinator derives
+   P-1 splitters and broadcasts them (control path through the master).
+3. **Partition** — numpy classification of records by splitter.
+4. **Shuffle** — for each destination, the sender reserves space in the
+   destination's shuffle region with a remote **fetch-and-add** on its
+   tail counter, then RDMA-writes the records.  No destination CPU, no
+   receive handling, no flow-control messages: the paper's API pitch.
+5. **Sort** — each worker sorts its shuffle region locally (full
+   10-byte lexicographic order) with an explicit n·log n CPU charge.
+6. **Write** — sorted runs land in per-worker output regions placed on
+   the worker's own memory server.
+
+Scaled runs: real records stay at a tractable count while ``scale``
+multiplies every wire/disk/CPU size, so a laptop simulates the paper's
+256 GB run through the identical code path (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from types import SimpleNamespace
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.builder import Cluster
+from repro.simnet.config import MiB
+from repro.workloads.kv import KEY_BYTES, RECORD_BYTES, generate_records
+
+__all__ = ["SortComputeModel", "RSort"]
+
+_SAMPLES_PER_WORKER = 128
+_HEADER = 8  # the shuffle region's tail counter
+
+
+@dataclass
+class SortComputeModel:
+    """CPU cost of sorting work (charged on logical record counts)."""
+
+    #: classify + move one record during partitioning
+    per_record_partition_s: float = 10e-9
+    #: one comparison in the local sort (n log2 n of them); calibrated
+    #: to a C merge sort moving 100-byte records on 2014 cores
+    per_compare_s: float = 12e-9
+    #: records are processed on this many cores in parallel
+    cores_used: int = 8
+
+    def partition_cost(self, records: int) -> float:
+        return records * self.per_record_partition_s / self.cores_used
+
+    def sort_cost(self, records: int) -> float:
+        if records < 2:
+            return 0.0
+        return (
+            records * math.log2(records) * self.per_compare_s / self.cores_used
+        )
+
+
+def key_prefix_u64(records: np.ndarray) -> np.ndarray:
+    """First 8 key bytes as big-endian uint64 (order-preserving prefix)."""
+    return records[:, :8].copy().view(">u8").ravel()
+
+
+def sort_order(records: np.ndarray) -> np.ndarray:
+    """Indices sorting records by the full 10-byte key."""
+    # lexsort's last key is most significant: feed columns reversed
+    return np.lexsort(tuple(records[:, KEY_BYTES - 1 - i] for i in range(KEY_BYTES)))
+
+
+class RSort:
+    """Distributed sort over RStore."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        records_per_worker: int,
+        worker_hosts: Optional[list[int]] = None,
+        scale: int = 1,
+        seed: int = 0,
+        model: Optional[SortComputeModel] = None,
+        tag: str = "sort",
+        shuffle_slack: float = 2.0,
+    ):
+        if records_per_worker < 1:
+            raise ValueError("need at least one record per worker")
+        if scale < 1:
+            raise ValueError("scale must be >= 1")
+        self.cluster = cluster
+        self.records_per_worker = records_per_worker
+        self.worker_hosts = worker_hosts or list(range(cluster.num_machines))
+        self.scale = scale
+        self.seed = seed
+        self.model = model or SortComputeModel()
+        self.tag = tag
+        self.shuffle_slack = shuffle_slack
+        self._prepared = False
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.worker_hosts)
+
+    @property
+    def total_records(self) -> int:
+        return self.records_per_worker * self.num_workers
+
+    @property
+    def logical_bytes(self) -> int:
+        """The dataset size this run stands for."""
+        return self.total_records * RECORD_BYTES * self.scale
+
+    # -- input generation (the TeraGen phase; not part of sort timing) -----
+
+    def prepare(self):
+        """Generate input and load it into the store (generator)."""
+        sim = self.cluster.sim
+        tag = self.tag
+        slice_bytes = self.records_per_worker * RECORD_BYTES
+        coordinator = self.cluster.client(self.worker_hosts[0])
+        yield from coordinator.alloc(
+            f"{tag}.input", slice_bytes * self.num_workers
+        )
+
+        def generate(rank):
+            client = self.cluster.client(self.worker_hosts[rank])
+            records = generate_records(
+                self.records_per_worker, seed=self.seed + rank
+            )
+            mapping = yield from client.map(f"{tag}.input")
+            mr = yield from client.alloc_local(slice_bytes)
+            mr.buffer.write(0, records.tobytes())
+            yield from mapping.write_from(
+                mr, mr.addr, rank * slice_bytes, slice_bytes,
+                wire_scale=self.scale,
+            )
+
+        procs = [
+            sim.process(generate(rank), name=f"{self.tag}-gen-{rank}")
+            for rank in range(self.num_workers)
+        ]
+        yield sim.all_of(procs)
+        self._prepared = True
+
+    # -- the sort itself -----------------------------------------------------
+
+    def run(self):
+        """Sort (generator).  Returns stats with ``elapsed`` and counts."""
+        if not self._prepared:
+            yield from self.prepare()
+        sim = self.cluster.sim
+        stats = SimpleNamespace(
+            elapsed=0.0,
+            logical_bytes=self.logical_bytes,
+            records=self.total_records,
+            per_worker_output=None,
+        )
+        counts: dict[int, int] = {}
+        t0 = sim.now
+        procs = [
+            sim.process(self._worker(rank, counts),
+                        name=f"{self.tag}-worker-{rank}")
+            for rank in range(self.num_workers)
+        ]
+        yield sim.all_of(procs)
+        stats.elapsed = sim.now - t0
+        stats.per_worker_output = [counts[r] for r in range(self.num_workers)]
+        stats.throughput_Bps = (
+            self.logical_bytes / stats.elapsed if stats.elapsed > 0 else 0.0
+        )
+        return stats
+
+    def _worker(self, rank: int, counts: dict):
+        tag = self.tag
+        host_id = self.worker_hosts[rank]
+        client = self.cluster.client(host_id)
+        cpu = self.cluster.net.host(host_id).cpu
+        workers = self.num_workers
+        model = self.model
+        slice_bytes = self.records_per_worker * RECORD_BYTES
+        logical = self.records_per_worker * self.scale
+
+        # Per-worker shuffle region, placed on the worker's own server.
+        expected = slice_bytes  # balanced split expectation
+        shuffle_bytes = _HEADER + int(expected * self.shuffle_slack)
+        yield from client.alloc(
+            f"{tag}.shuffle.{rank}", shuffle_bytes, preferred_host=host_id
+        )
+        yield from client.barrier(f"{tag}.alloc", workers)
+
+        # 1. read the input slice
+        input_map = yield from client.map(f"{tag}.input")
+        in_mr = yield from client.alloc_local(slice_bytes)
+        yield from input_map.read_into(
+            in_mr, in_mr.addr, rank * slice_bytes, slice_bytes,
+            wire_scale=self.scale,
+        )
+        records = np.frombuffer(
+            in_mr.buffer.read(0, slice_bytes), dtype=np.uint8
+        ).reshape(-1, RECORD_BYTES)
+
+        # 2. sampling -> splitters (control path via the master)
+        prefixes = key_prefix_u64(records)
+        rng = np.random.default_rng(self.seed + 1000 + rank)
+        sample = rng.choice(
+            prefixes, size=min(_SAMPLES_PER_WORKER, len(prefixes)),
+            replace=False,
+        )
+        yield from client.notify(f"{tag}.samples.{rank}", sample.tolist())
+        if rank == 0:
+            gathered = []
+            for peer in range(workers):
+                part = yield from client.wait_note(f"{tag}.samples.{peer}")
+                gathered.extend(part)
+            gathered.sort()
+            quantiles = [
+                gathered[(i + 1) * len(gathered) // workers - 1]
+                for i in range(workers - 1)
+            ]
+            yield from client.notify(f"{tag}.splitters", quantiles)
+        splitters = np.array(
+            (yield from client.wait_note(f"{tag}.splitters")), dtype=np.uint64
+        )
+
+        # 3. partition
+        yield from cpu.run(model.partition_cost(logical))
+        dest = np.searchsorted(splitters, prefixes, side="right")
+
+        # 4. one-sided shuffle: FAA-reserve, then RDMA-write
+        shuffle_maps = []
+        for peer in range(workers):
+            mapping = yield from client.map(f"{tag}.shuffle.{peer}")
+            shuffle_maps.append(mapping)
+        out_mr = yield from client.alloc_local(max(slice_bytes, 1))
+        # rotated destination order: if every worker walked peers
+        # 0,1,2,... in lockstep the whole cluster would incast one
+        # receiver at a time; starting at rank+1 spreads the load
+        for step in range(1, workers + 1):
+            peer = (rank + step) % workers
+            chunk = records[dest == peer]
+            if len(chunk) == 0:
+                continue
+            blob = chunk.tobytes()
+            yield from cpu.copy(len(blob))
+            out_mr.buffer.write(0, blob)
+            offset = yield from shuffle_maps[peer].faa(0, len(blob))
+            yield from shuffle_maps[peer].write_from(
+                out_mr, out_mr.addr, _HEADER + offset, len(blob),
+                wire_scale=self.scale,
+            )
+        yield from client.barrier(f"{tag}.shuffled", workers)
+
+        # 5. local sort of the shuffle region
+        own = shuffle_maps[rank]
+        tail = yield from own.read(0, _HEADER)
+        nbytes = int.from_bytes(tail, "little")
+        my_records = np.empty((0, RECORD_BYTES), dtype=np.uint8)
+        if nbytes:
+            recv_mr = yield from client.alloc_local(nbytes)
+            yield from own.read_into(
+                recv_mr, recv_mr.addr, _HEADER, nbytes, wire_scale=self.scale
+            )
+            my_records = np.frombuffer(
+                recv_mr.buffer.read(0, nbytes), dtype=np.uint8
+            ).reshape(-1, RECORD_BYTES)
+            yield from cpu.run(model.sort_cost(len(my_records) * self.scale))
+            my_records = my_records[sort_order(my_records)]
+
+        # 6. write the sorted run to a local output region
+        out_bytes = max(len(my_records) * RECORD_BYTES, 1)
+        yield from client.alloc(
+            f"{tag}.out.{rank}", out_bytes, preferred_host=host_id
+        )
+        out_map = yield from client.map(f"{tag}.out.{rank}")
+        if len(my_records):
+            blob = my_records.tobytes()
+            yield from cpu.copy(len(blob))
+            final_mr = yield from client.alloc_local(len(blob))
+            final_mr.buffer.write(0, blob)
+            yield from out_map.write_from(
+                final_mr, final_mr.addr, 0, len(blob), wire_scale=self.scale
+            )
+        counts[rank] = len(my_records)
+        yield from client.barrier(f"{tag}.done", workers)
+
+    # -- validation helpers ----------------------------------------------------
+
+    def collect_output(self):
+        """Read back the global sorted output (generator) — test support."""
+        client = self.cluster.client(self.worker_hosts[0])
+        parts = []
+        for rank in range(self.num_workers):
+            mapping = yield from client.map(f"{self.tag}.out.{rank}")
+            if mapping.size <= 1:
+                continue
+            blob = b""
+            pos = 0
+            while pos < mapping.size:
+                take = min(4 * MiB, mapping.size - pos)
+                blob += yield from mapping.read(pos, take)
+                pos += take
+            parts.append(
+                np.frombuffer(blob, dtype=np.uint8).reshape(-1, RECORD_BYTES)
+            )
+        if not parts:
+            return np.empty((0, RECORD_BYTES), dtype=np.uint8)
+        return np.concatenate(parts)

@@ -1,0 +1,47 @@
+"""RStoreConfig validation and defaults."""
+
+import pytest
+
+from repro.core import RStoreConfig
+from repro.simnet.config import KiB, MiB
+
+
+def test_defaults_match_design_doc():
+    config = RStoreConfig()
+    assert config.master_host == 0
+    assert config.stripe_size == 1 * MiB
+    assert config.allocation_policy == "round_robin"
+    assert config.default_replication == 1
+    assert not config.resolve_per_io
+    assert not config.two_sided_data_path
+
+
+def test_invalid_stripe_size_rejected():
+    with pytest.raises(ValueError):
+        RStoreConfig(stripe_size=0)
+    with pytest.raises(ValueError):
+        RStoreConfig(stripe_size=-4096)
+
+
+def test_invalid_policy_rejected():
+    with pytest.raises(ValueError, match="policy"):
+        RStoreConfig(allocation_policy="first-touch")
+
+
+def test_all_policies_accepted():
+    for policy in ("round_robin", "random", "spread"):
+        assert RStoreConfig(allocation_policy=policy).allocation_policy == policy
+
+
+def test_ablation_flags_independent():
+    config = RStoreConfig(resolve_per_io=True)
+    assert config.resolve_per_io and not config.two_sided_data_path
+    config = RStoreConfig(two_sided_data_path=True)
+    assert config.two_sided_data_path and not config.resolve_per_io
+
+
+def test_window_and_chunk_defaults():
+    config = RStoreConfig()
+    assert config.data_window_per_qp == 8
+    assert config.max_wire_chunk == 1 * MiB
+    assert config.issue_overhead_s > 0

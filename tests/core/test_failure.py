@@ -1,0 +1,127 @@
+"""Failure handling: server death, lease expiry, region invalidation."""
+
+import pytest
+
+from repro.core import RegionUnavailableError, RStoreConfig
+from repro.cluster import build_cluster
+from repro.simnet.config import KiB, MiB
+
+
+def fresh_cluster():
+    return build_cluster(
+        num_machines=4,
+        config=RStoreConfig(stripe_size=64 * KiB, heartbeat_interval_s=0.02,
+                            lease_timeout_s=0.07),
+        server_capacity=64 * MiB,
+    )
+
+
+def test_master_declares_dead_server_after_lease_expiry():
+    cluster = fresh_cluster()
+    cluster.kill_server(2)
+    cluster.run(until=cluster.sim.now + 0.5)
+    slot = cluster.master.allocator.server(2)
+    assert not slot.alive
+
+
+def test_regions_on_dead_server_become_unavailable():
+    cluster = fresh_cluster()
+    client = cluster.client(1)
+
+    def setup():
+        region = yield from client.alloc("doomed", 256 * KiB)
+        return region
+
+    region = cluster.run_app(setup())
+    # kill a hosting server that is neither the master's machine nor the
+    # machine our test client runs on (a dead client can't observe anything)
+    victim = next(
+        h for h in region.hosts
+        if h not in (cluster.config.master_host, 1)
+    )
+    cluster.kill_server(victim)
+    cluster.run(until=cluster.sim.now + 0.5)
+    assert not cluster.master.regions["doomed"].available
+
+    def try_map():
+        with pytest.raises(RegionUnavailableError):
+            yield from client.map("doomed")
+
+    cluster.run_app(try_map())
+
+
+def test_inflight_io_to_dead_server_fails():
+    cluster = fresh_cluster()
+    client = cluster.client(1)
+
+    def app():
+        region = yield from client.alloc("inflight", 256 * KiB)
+        mapping = yield from client.map(region)
+        victim = next(
+            h for h in region.hosts
+            if h not in (cluster.config.master_host, 1)
+        )
+        cluster.servers[victim].kill()
+        with pytest.raises(RegionUnavailableError):
+            yield from mapping.read(0, 256 * KiB)
+
+    cluster.run_app(app())
+
+
+def test_allocation_steers_around_dead_server():
+    cluster = fresh_cluster()
+    client = cluster.client(1)
+    cluster.kill_server(3)
+    cluster.run(until=cluster.sim.now + 0.5)
+
+    def app():
+        region = yield from client.alloc("survivor", 512 * KiB)
+        return region
+
+    region = cluster.run_app(app())
+    assert 3 not in region.hosts
+    assert region.available
+
+
+def test_surviving_regions_keep_working_after_unrelated_death():
+    cluster = fresh_cluster()
+    client = cluster.client(1)
+
+    def setup():
+        # Pin the region to servers 0 and 1 by allocating while only
+        # checking hosts afterwards; retry names until placement avoids 3.
+        for attempt in range(8):
+            name = f"lucky-{attempt}"
+            region = yield from client.alloc(name, 128 * KiB)
+            if 3 not in region.hosts:
+                mapping = yield from client.map(region)
+                yield from mapping.write(0, b"persist")
+                return name
+            yield from client.free(name)
+        raise AssertionError("could not place a region avoiding host 3")
+
+    name = cluster.run_app(setup())
+    cluster.kill_server(3)
+    cluster.run(until=cluster.sim.now + 0.5)
+
+    def verify():
+        mapping = yield from cluster.client(2).map(name)
+        data = yield from mapping.read(0, 7)
+        return data
+
+    assert cluster.run_app(verify()) == b"persist"
+
+
+def test_cluster_stats_reflect_dead_server():
+    cluster = fresh_cluster()
+    cluster.kill_server(1)
+    cluster.run(until=cluster.sim.now + 0.5)
+    client = cluster.client(0)
+
+    def app():
+        stats = yield from client._master_call("cluster_stats")
+        return stats
+
+    stats = cluster.run_app(app())
+    assert stats["alive_servers"] == 3
+    assert stats["servers"] == 4

@@ -1,0 +1,121 @@
+"""Region descriptor and address-translation tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import BoundsError
+from repro.core.region import (
+    RegionDesc,
+    StripeDesc,
+    StripeReplica,
+    split_into_stripes,
+)
+
+
+def make_region(size, stripe_size, num_hosts=3, replication=1):
+    lengths = split_into_stripes(size, stripe_size)
+    stripes = [
+        StripeDesc(
+            index=i,
+            length=length,
+            replicas=tuple(
+                StripeReplica(host_id=(i + r) % num_hosts,
+                              addr=0x1000 * (i + 1) + r * 0x100000,
+                              rkey=i + 1 + 100 * r)
+                for r in range(replication)
+            ),
+        )
+        for i, length in enumerate(lengths)
+    ]
+    region = RegionDesc(region_id=1, name="r", size=size,
+                        stripe_size=stripe_size, stripes=stripes)
+    region.validate()
+    return region
+
+
+def test_split_exact_multiple():
+    assert split_into_stripes(300, 100) == [100, 100, 100]
+
+
+def test_split_with_tail():
+    assert split_into_stripes(250, 100) == [100, 100, 50]
+
+
+def test_split_smaller_than_stripe():
+    assert split_into_stripes(10, 100) == [10]
+
+
+def test_split_rejects_non_positive():
+    with pytest.raises(ValueError):
+        split_into_stripes(0, 100)
+
+
+def test_locate_single_stripe():
+    region = make_region(300, 100)
+    pieces = list(region.locate(120, 50))
+    assert len(pieces) == 1
+    stripe, off, take = pieces[0]
+    assert stripe.index == 1 and off == 20 and take == 50
+
+
+def test_locate_spanning_stripes():
+    region = make_region(300, 100)
+    pieces = list(region.locate(50, 200))
+    assert [(s.index, off, take) for s, off, take in pieces] == [
+        (0, 50, 50),
+        (1, 0, 100),
+        (2, 0, 50),
+    ]
+
+
+def test_locate_whole_region():
+    region = make_region(250, 100)
+    pieces = list(region.locate(0, 250))
+    assert sum(take for _s, _o, take in pieces) == 250
+
+
+def test_locate_out_of_bounds():
+    region = make_region(300, 100)
+    with pytest.raises(BoundsError):
+        list(region.locate(250, 100))
+    with pytest.raises(BoundsError):
+        list(region.locate(-1, 10))
+
+
+def test_hosts_are_distinct_and_ordered():
+    region = make_region(500, 100, num_hosts=2)
+    assert region.hosts == (0, 1)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=10_000),
+    stripe_size=st.integers(min_value=1, max_value=1_000),
+    data=st.data(),
+)
+def test_locate_covers_exactly_the_requested_range(size, stripe_size, data):
+    """Property: translation pieces tile [offset, offset+length) exactly."""
+    region = make_region(size, stripe_size)
+    offset = data.draw(st.integers(min_value=0, max_value=size))
+    length = data.draw(st.integers(min_value=0, max_value=size - offset))
+    pieces = list(region.locate(offset, length))
+    assert sum(take for _s, _o, take in pieces) == length
+    # pieces are in order and map back to the right global offsets
+    pos = offset
+    for stripe, stripe_off, take in pieces:
+        assert stripe.index * stripe_size + stripe_off == pos
+        assert 0 < take <= stripe.length - stripe_off
+        pos += take
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=1_000_000),
+    stripe_size=st.integers(min_value=1, max_value=100_000),
+)
+def test_split_invariants(size, stripe_size):
+    lengths = split_into_stripes(size, stripe_size)
+    assert sum(lengths) == size
+    assert all(0 < length <= stripe_size for length in lengths)
+    assert all(length == stripe_size for length in lengths[:-1])

@@ -1,0 +1,141 @@
+"""Region resize: grow-by-appending-stripes semantics."""
+
+import pytest
+
+from repro.core import RegionNotFoundError, RStoreConfig, RStoreError
+from repro.cluster import build_cluster
+from repro.simnet.config import KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return build_cluster(
+        num_machines=4,
+        config=RStoreConfig(stripe_size=64 * KiB),
+        server_capacity=64 * MiB,
+    )
+
+
+def test_grow_preserves_data_and_extends_range(cluster):
+    client = cluster.client(1)
+
+    def app():
+        yield from client.alloc("grow", 128 * KiB)
+        mapping = yield from client.map("grow")
+        yield from mapping.write(0, b"keep me")
+        new_desc = yield from client.resize("grow", 256 * KiB)
+        assert new_desc.size == 256 * KiB
+        assert len(new_desc.stripes) == 4
+        fresh = yield from client.map(new_desc)
+        kept = yield from fresh.read(0, 7)
+        yield from fresh.write(200 * KiB, b"new range")
+        added = yield from fresh.read(200 * KiB, 9)
+        return kept, added
+
+    kept, added = cluster.run_app(app())
+    assert kept == b"keep me"
+    assert added == b"new range"
+
+
+def test_version_bumps_on_resize(cluster):
+    client = cluster.client(1)
+
+    def app():
+        before = yield from client.alloc("versioned", 64 * KiB)
+        after = yield from client.resize("versioned", 192 * KiB)
+        return before.version, after.version
+
+    v_before, v_after = cluster.run_app(app())
+    assert v_after == v_before + 1
+
+
+def test_old_mapping_keeps_old_bounds(cluster):
+    from repro.core import BoundsError
+
+    client = cluster.client(2)
+
+    def app():
+        desc = yield from client.alloc("stale", 64 * KiB)
+        mapping = yield from client.map(desc)
+        yield from client.resize("stale", 128 * KiB)
+        # the stale mapping still enforces the old size
+        with pytest.raises(BoundsError):
+            yield from mapping.read(100 * KiB, 16)
+        # but old-range IO keeps working
+        yield from mapping.write(0, b"ok")
+        return (yield from mapping.read(0, 2))
+
+    assert cluster.run_app(app()) == b"ok"
+
+
+def test_same_size_resize_is_noop(cluster):
+    client = cluster.client(1)
+
+    def app():
+        before = yield from client.alloc("noop", 64 * KiB)
+        after = yield from client.resize("noop", 64 * KiB)
+        return before.version, after.version
+
+    v_before, v_after = cluster.run_app(app())
+    assert v_before == v_after
+
+
+def test_shrink_rejected(cluster):
+    client = cluster.client(1)
+
+    def app():
+        yield from client.alloc("noshrink", 128 * KiB)
+        with pytest.raises(RStoreError, match="hrink"):
+            yield from client.resize("noshrink", 64 * KiB)
+
+    cluster.run_app(app())
+
+
+def test_partial_tail_rejected(cluster):
+    client = cluster.client(1)
+
+    def app():
+        yield from client.alloc("partial", 96 * KiB)  # 1.5 stripes
+        with pytest.raises(RStoreError, match="multiple"):
+            yield from client.resize("partial", 192 * KiB)
+
+    cluster.run_app(app())
+
+
+def test_resize_unknown_region(cluster):
+    client = cluster.client(1)
+
+    def app():
+        with pytest.raises(RegionNotFoundError):
+            yield from client.resize("missing", 64 * KiB)
+
+    cluster.run_app(app())
+
+
+def test_resize_charges_capacity(cluster):
+    client = cluster.client(1)
+
+    def app():
+        before = yield from client._master_call("cluster_stats")
+        yield from client.alloc("acct-resize", 64 * KiB)
+        yield from client.resize("acct-resize", 192 * KiB)
+        after = yield from client._master_call("cluster_stats")
+        yield from client.free("acct-resize")
+        freed = yield from client._master_call("cluster_stats")
+        return before, after, freed
+
+    before, after, freed = cluster.run_app(app())
+    assert before["total_free"] - after["total_free"] == 192 * KiB
+    assert freed["total_free"] == before["total_free"]
+
+
+def test_replicated_region_resize_keeps_replication(cluster):
+    client = cluster.client(1)
+
+    def app():
+        yield from client.alloc("rep-resize", 64 * KiB, replication=2)
+        desc = yield from client.resize("rep-resize", 128 * KiB)
+        return desc
+
+    desc = cluster.run_app(app())
+    assert all(s.replication == 2 for s in desc.stripes)

@@ -1,0 +1,59 @@
+"""Memory-server internals: arena accounting, boot state, stats RPC."""
+
+import pytest
+
+from repro.core import RStoreConfig
+from repro.cluster import build_cluster
+from repro.rpc.endpoint import RpcClient
+from repro.simnet.config import Gbps, KiB, MiB, ms, us
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return build_cluster(
+        num_machines=3,
+        config=RStoreConfig(stripe_size=64 * KiB),
+        server_capacity=16 * MiB,
+    )
+
+
+def test_servers_boot_with_registered_arenas(cluster):
+    for server in cluster.servers.values():
+        assert server.alive
+        assert server.arena is not None
+        assert server.arena_mr.rkey in server.nic.mr_by_rkey
+        assert server.arena.capacity == 16 * MiB
+
+
+def test_allocation_is_visible_in_server_arenas(cluster):
+    client = cluster.client(1)
+
+    def app():
+        region = yield from client.alloc("arena-acct", 128 * KiB)
+        return region
+
+    region = cluster.run_app(app())
+    for stripe in region.stripes:
+        arena = cluster.servers[stripe.host_id].arena
+        assert arena.used_bytes >= stripe.length
+
+
+def test_stats_rpc_reports_usage(cluster):
+    def app():
+        rpc = RpcClient(cluster.sim, cluster.nics[1], cluster.cm)
+        yield from rpc.connect(2, cluster.config.mem_service)
+        stats = yield from rpc.call("stats")
+        return stats
+
+    stats = cluster.run_app(app())
+    assert stats["host_id"] == 2
+    assert stats["capacity"] == 16 * MiB
+    assert 0 <= stats["free"] <= 16 * MiB
+    assert stats["live_allocations"] >= 0
+
+
+def test_unit_helpers():
+    assert Gbps(10) == 10e9
+    assert us(2) == pytest.approx(2e-6)
+    assert ms(3) == pytest.approx(3e-3)
+    assert KiB == 1024 and MiB == 1024 * 1024

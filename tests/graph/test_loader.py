@@ -1,0 +1,115 @@
+"""Graph representation, generators and partitioning tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.loader import Graph, partition_ranges
+from repro.workloads.graphs import erdos_renyi_edges, rmat_edges
+
+
+def small_graph():
+    # edges (src -> dst): 0->1, 0->2, 1->2, 2->0, 3->2
+    src = np.array([0, 0, 1, 2, 3])
+    dst = np.array([1, 2, 2, 0, 2])
+    return Graph.from_edges(4, src, dst)
+
+
+def test_in_edges_grouped_by_target():
+    g = small_graph()
+    assert sorted(g.in_edges_of(2).tolist()) == [0, 1, 3]
+    assert g.in_edges_of(0).tolist() == [2]
+    assert g.in_edges_of(3).tolist() == []
+
+
+def test_out_degrees():
+    g = small_graph()
+    assert g.out_degrees.tolist() == [2, 1, 1, 1]
+
+
+def test_num_edges_preserved():
+    g = small_graph()
+    assert g.num_edges == 5
+
+
+def test_weights_follow_edge_order():
+    src = np.array([0, 1, 2])
+    dst = np.array([2, 2, 1])
+    weights = np.array([10.0, 20.0, 30.0])
+    g = Graph.from_edges(3, src, dst, weights)
+    indptr, sources, w = g.slice_csr(0, 3)
+    # in-edges of 1: from 2 (weight 30); of 2: from 0 and 1 (10, 20)
+    for target in (1, 2):
+        lo, hi = indptr[target], indptr[target + 1]
+        for s, wt in zip(sources[lo:hi], w[lo:hi]):
+            expected = {(2, 30.0), (0, 10.0), (1, 20.0)}
+            assert (s, wt) in expected
+
+
+def test_slice_csr_is_consistent():
+    g = small_graph()
+    indptr, sources, _w = g.slice_csr(1, 3)
+    assert len(indptr) == 3
+    assert indptr[0] == 0
+    assert len(sources) == indptr[-1]
+    # slice rows match global rows
+    assert sorted(sources[indptr[1]:indptr[2]].tolist()) == sorted(
+        g.in_edges_of(2).tolist()
+    )
+
+
+def test_edge_bounds_validated():
+    with pytest.raises(ValueError):
+        Graph.from_edges(2, np.array([0]), np.array([5]))
+
+
+def test_partition_ranges_cover_everything():
+    parts = partition_ranges(10, 3)
+    assert parts[0][0] == 0
+    assert parts[-1][1] == 10
+    for (l1, h1), (l2, _h2) in zip(parts, parts[1:]):
+        assert h1 == l2
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=1000),
+    p=st.integers(min_value=1, max_value=16),
+)
+def test_partition_ranges_properties(n, p):
+    parts = partition_ranges(n, p)
+    assert len(parts) == p
+    assert sum(hi - lo for lo, hi in parts) == n
+    sizes = [hi - lo for lo, hi in parts]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_rmat_shape_and_determinism():
+    s1, d1 = rmat_edges(scale=8, edge_factor=4, seed=1)
+    s2, d2 = rmat_edges(scale=8, edge_factor=4, seed=1)
+    assert len(s1) == 4 * 256
+    assert (s1 == s2).all() and (d1 == d2).all()
+    assert s1.max() < 256 and d1.max() < 256
+
+
+def test_rmat_is_skewed():
+    """Power-law check: the top-1% targets receive far more than 1% of edges."""
+    src, dst = rmat_edges(scale=12, edge_factor=8, seed=3)
+    counts = np.bincount(dst, minlength=1 << 12)
+    counts.sort()
+    top = counts[-(len(counts) // 100):].sum()
+    assert top > 0.1 * len(dst)
+
+
+def test_erdos_renyi_is_roughly_uniform():
+    src, dst = erdos_renyi_edges(1000, 50_000, seed=5)
+    counts = np.bincount(dst, minlength=1000)
+    assert counts.max() < 10 * counts.mean()
+
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        rmat_edges(scale=0)
+    with pytest.raises(ValueError):
+        erdos_renyi_edges(0, 10)

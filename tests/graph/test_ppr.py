@@ -1,0 +1,76 @@
+"""Personalized PageRank."""
+
+import numpy as np
+import pytest
+
+from repro.graph.algorithms import PersonalizedPageRankProgram
+from repro.graph.loader import Graph
+from tests.graph.test_algorithms import drive, line_graph
+
+
+def test_ppr_mass_sums_to_one():
+    src = np.array([0, 1, 2, 3, 0])
+    dst = np.array([1, 2, 3, 0, 2])
+    g = Graph.from_edges(4, src, dst)
+    scores, _ = drive(PersonalizedPageRankProgram(source=0, iterations=50), g)
+    assert scores.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+def test_ppr_concentrates_near_source():
+    # a long directed line: proximity to the source decays along it
+    g = line_graph(8)
+    scores, _ = drive(PersonalizedPageRankProgram(source=0, iterations=100), g)
+    assert scores[0] > scores[2] > scores[5] > scores[7]
+
+
+def test_ppr_differs_by_source():
+    src = np.array([0, 1, 2, 3])
+    dst = np.array([1, 2, 3, 0])
+    g = Graph.from_edges(4, src, dst)
+    a, _ = drive(PersonalizedPageRankProgram(source=0, iterations=60), g)
+    b, _ = drive(PersonalizedPageRankProgram(source=2, iterations=60), g)
+    assert a.argmax() == 0
+    assert b.argmax() == 2
+
+
+def test_ppr_matches_networkx():
+    networkx = pytest.importorskip("networkx")
+    rng = np.random.default_rng(17)
+    src = rng.integers(0, 40, 300).astype(np.int64)
+    dst = rng.integers(0, 40, 300).astype(np.int64)
+    g = Graph.from_edges(40, src, dst)
+    scores, _ = drive(
+        PersonalizedPageRankProgram(source=5, damping=0.85, iterations=120), g
+    )
+    nxg = networkx.MultiDiGraph()
+    nxg.add_nodes_from(range(40))
+    nxg.add_edges_from(zip(src.tolist(), dst.tolist()))
+    expected = networkx.pagerank(
+        nxg, alpha=0.85, personalization={5: 1.0},
+        dangling={5: 1.0}, max_iter=300, tol=1e-12,
+    )
+    for v in range(40):
+        assert scores[v] == pytest.approx(expected[v], abs=1e-6)
+
+
+def test_ppr_distributed_matches_sequential():
+    from repro.cluster import build_cluster
+    from repro.core import RStoreConfig
+    from repro.graph import RStoreGraphEngine
+    from repro.simnet.config import KiB, MiB
+    from repro.workloads.graphs import rmat_edges
+
+    src, dst = rmat_edges(scale=9, edge_factor=6, seed=12)
+    graph = Graph.from_edges(1 << 9, src, dst)
+    cluster = build_cluster(
+        num_machines=3,
+        config=RStoreConfig(stripe_size=64 * KiB),
+        server_capacity=64 * MiB,
+    )
+    program = PersonalizedPageRankProgram(source=3, iterations=6)
+    engine = RStoreGraphEngine(cluster, graph, tag="ppr")
+    stats = cluster.run_app(engine.run(program))
+    expected, _ = drive(
+        PersonalizedPageRankProgram(source=3, iterations=6), graph
+    )
+    np.testing.assert_allclose(stats.values, expected, rtol=1e-12)

@@ -1,0 +1,236 @@
+"""The one-sided hash table: correctness, races, edge cases."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import build_cluster
+from repro.core import RStoreConfig
+from repro.kv import KvError, KvFullError, RKVStore
+from repro.simnet.config import KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return build_cluster(
+        num_machines=4,
+        config=RStoreConfig(stripe_size=64 * KiB),
+        server_capacity=64 * MiB,
+    )
+
+
+def make_store(cluster, name, slots=256, **kw):
+    client = cluster.client(1)
+
+    def setup():
+        store = yield from RKVStore.create(client, name, slots, **kw)
+        return store
+
+    return cluster.run_app(setup())
+
+
+def test_put_get_roundtrip(cluster):
+    store = make_store(cluster, "basic")
+
+    def app():
+        yield from store.put(b"alpha", b"one")
+        yield from store.put(b"beta", b"two")
+        a = yield from store.get(b"alpha")
+        b = yield from store.get(b"beta")
+        missing = yield from store.get(b"gamma")
+        return a, b, missing
+
+    assert cluster.run_app(app()) == (b"one", b"two", None)
+
+
+def test_overwrite_replaces_value(cluster):
+    store = make_store(cluster, "overwrite")
+
+    def app():
+        yield from store.put(b"k", b"v1")
+        yield from store.put(b"k", b"v2-longer")
+        return (yield from store.get(b"k"))
+
+    assert cluster.run_app(app()) == b"v2-longer"
+
+
+def test_delete_and_tombstone_probing(cluster):
+    # tiny table forces collisions, exercising the probe chain
+    store = make_store(cluster, "tombstones", slots=4)
+
+    def app():
+        keys = [b"a", b"b", b"c"]
+        for key in keys:
+            yield from store.put(key, b"v-" + key)
+        deleted = yield from store.delete(b"b")
+        missing_after = yield from store.get(b"b")
+        # keys that may sit *behind* the tombstone must remain reachable
+        survivors = []
+        for key in (b"a", b"c"):
+            survivors.append((yield from store.get(key)))
+        # the tombstone slot is reusable
+        yield from store.put(b"d", b"v-d")
+        d = yield from store.get(b"d")
+        return deleted, missing_after, survivors, d
+
+    deleted, missing, survivors, d = cluster.run_app(app())
+    assert deleted is True
+    assert missing is None
+    assert survivors == [b"v-a", b"v-c"]
+    assert d == b"v-d"
+
+
+def test_delete_missing_returns_false(cluster):
+    store = make_store(cluster, "del-miss")
+
+    def app():
+        return (yield from store.delete(b"ghost"))
+
+    assert cluster.run_app(app()) is False
+
+
+def test_table_fills_up(cluster):
+    store = make_store(cluster, "full", slots=4)
+
+    def app():
+        with pytest.raises(KvFullError):
+            for i in range(20):
+                yield from store.put(f"key-{i}".encode(), b"v")
+
+    cluster.run_app(app())
+
+
+def test_key_value_size_limits(cluster):
+    store = make_store(cluster, "limits", key_size=8, value_size=16)
+
+    def app():
+        with pytest.raises(KvError, match="key"):
+            yield from store.put(b"x" * 9, b"v")
+        with pytest.raises(KvError, match="value"):
+            yield from store.put(b"k", b"v" * 17)
+        with pytest.raises(KvError, match="empty"):
+            yield from store.put(b"", b"v")
+        # at the limits everything works
+        yield from store.put(b"x" * 8, b"v" * 16)
+        return (yield from store.get(b"x" * 8))
+
+    assert cluster.run_app(app()) == b"v" * 16
+
+
+def test_second_client_opens_and_shares(cluster):
+    store = make_store(cluster, "shared")
+    other = cluster.client(3)
+
+    def app():
+        yield from store.put(b"from-1", b"hello")
+        view = yield from RKVStore.open(other, "shared")
+        seen = yield from view.get(b"from-1")
+        yield from view.put(b"from-3", b"world")
+        back = yield from store.get(b"from-3")
+        return seen, back
+
+    assert cluster.run_app(app()) == (b"hello", b"world")
+
+
+def test_concurrent_writers_distinct_keys(cluster):
+    store = make_store(cluster, "concurrent", slots=512)
+    sim = cluster.sim
+
+    def writer(worker, count):
+        view = yield from RKVStore.open(cluster.client(worker), "concurrent")
+        for i in range(count):
+            key = f"w{worker}-{i}".encode()
+            yield from view.put(key, key[::-1])
+
+    def app():
+        procs = [sim.process(writer(w, 20)) for w in (0, 2, 3)]
+        yield sim.all_of(procs)
+        values = []
+        for worker in (0, 2, 3):
+            for i in range(20):
+                key = f"w{worker}-{i}".encode()
+                values.append((yield from store.get(key)) == key[::-1])
+        return values
+
+    assert all(cluster.run_app(app()))
+
+
+def test_concurrent_writers_same_key_last_write_wins(cluster):
+    store = make_store(cluster, "race")
+    sim = cluster.sim
+
+    def writer(worker):
+        view = yield from RKVStore.open(cluster.client(worker), "race")
+        for i in range(10):
+            yield from view.put(b"hot", f"worker-{worker}-{i}".encode())
+
+    def app():
+        procs = [sim.process(writer(w)) for w in (0, 2, 3)]
+        yield sim.all_of(procs)
+        final = yield from store.get(b"hot")
+        return final
+
+    final = cluster.run_app(app())
+    # one of the writers' final values; never torn, never stale-empty
+    assert final is not None
+    assert final.startswith(b"worker-") and final.endswith(b"-9")
+
+
+def test_no_server_cpu_involved(cluster):
+    store = make_store(cluster, "offload")
+    busy_before = {
+        h: cluster.net.host(h).cpu.busy_seconds for h in range(4)
+    }
+
+    def app():
+        for i in range(30):
+            yield from store.put(f"k{i}".encode(), b"v")
+            yield from store.get(f"k{i}".encode())
+
+    cluster.run_app(app())
+    for h in range(4):
+        if h == 1:  # the client's own host works, everyone else sleeps
+            continue
+        extra = cluster.net.host(h).cpu.busy_seconds - busy_before[h]
+        assert extra < 1e-4  # heartbeat noise only
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "get", "delete"]),
+            st.integers(min_value=0, max_value=15),
+            st.binary(min_size=0, max_size=24),
+        ),
+        max_size=40,
+    )
+)
+def test_matches_dict_reference(ops):
+    """Property: the table behaves like a dict under any op sequence."""
+    cluster = build_cluster(
+        num_machines=2,
+        config=RStoreConfig(stripe_size=64 * KiB),
+        server_capacity=16 * MiB,
+    )
+    client = cluster.client(1)
+    reference: dict[bytes, bytes] = {}
+
+    def app():
+        store = yield from RKVStore.create(client, "model", slots=128)
+        for op, key_id, value in ops:
+            key = f"key-{key_id}".encode()
+            if op == "put":
+                yield from store.put(key, value)
+                reference[key] = value
+            elif op == "get":
+                got = yield from store.get(key)
+                assert got == reference.get(key)
+            else:
+                existed = yield from store.delete(key)
+                assert existed == (key in reference)
+                reference.pop(key, None)
+        for key, value in reference.items():
+            assert (yield from store.get(key)) == value
+
+    cluster.run_app(app())

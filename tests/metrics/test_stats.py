@@ -1,0 +1,85 @@
+"""Statistics utilities used by the benchmarks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.stats import Recorder, percentile, summarize
+from repro.simnet.kernel import Simulator
+
+
+def test_percentile_basics():
+    data = [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert percentile(data, 0) == 1.0
+    assert percentile(data, 50) == 3.0
+    assert percentile(data, 100) == 5.0
+    assert percentile(data, 25) == 2.0
+
+
+def test_percentile_interpolates():
+    assert percentile([1.0, 2.0], 50) == pytest.approx(1.5)
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_percentile_single_sample():
+    assert percentile([7.0], 99) == 7.0
+
+
+def test_summary_fields():
+    s = summarize([1.0, 2.0, 3.0, 4.0])
+    assert s.count == 4
+    assert s.mean == pytest.approx(2.5)
+    assert s.minimum == 1.0
+    assert s.maximum == 4.0
+    assert s.p50 == pytest.approx(2.5)
+
+
+def test_summary_scaled():
+    s = summarize([1e-6, 3e-6]).scaled(1e6)
+    assert s.mean == pytest.approx(2.0)
+    assert s.count == 2
+
+
+def test_recorder_measures_simulated_time():
+    sim = Simulator()
+    recorder = Recorder(sim)
+
+    def app():
+        token = recorder.start()
+        yield sim.timeout(0.5)
+        recorder.stop(token, nbytes=1000)
+        token = recorder.start()
+        yield sim.timeout(1.5)
+        recorder.stop(token, nbytes=3000)
+
+    sim.run(until=sim.process(app()))
+    assert recorder.samples == [0.5, 1.5]
+    assert recorder.bytes == 4000
+    assert recorder.throughput_bps(2.0) == pytest.approx(16000.0)
+
+
+def test_recorder_zero_elapsed_throughput():
+    sim = Simulator()
+    recorder = Recorder(sim)
+    assert recorder.throughput_bps(0.0) == 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=200))
+def test_percentile_properties(samples):
+    """p0 = min, p100 = max, monotone in q, bounded by extremes."""
+    assert percentile(samples, 0) == min(samples)
+    assert percentile(samples, 100) == max(samples)
+    previous = min(samples)
+    for q in (10, 25, 50, 75, 90, 99):
+        value = percentile(samples, q)
+        assert min(samples) <= value <= max(samples)
+        assert value >= previous - 1e-9
+        previous = value

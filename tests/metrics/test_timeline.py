@@ -1,0 +1,61 @@
+"""Timeline bucketing."""
+
+import pytest
+
+from repro.metrics.timeline import Timeline
+from repro.simnet.kernel import Simulator
+
+
+def test_records_land_in_time_buckets():
+    sim = Simulator()
+    timeline = Timeline(sim, bucket_s=1.0)
+
+    def app():
+        timeline.record(100)
+        yield sim.timeout(2.5)
+        timeline.record(200)
+        timeline.record(50, ops=3)
+
+    sim.run(until=sim.process(app()))
+    series = timeline.series()
+    assert series == [(0.0, 100, 1), (1.0, 0, 0), (2.0, 250, 4)]
+
+
+def test_bandwidth_series():
+    sim = Simulator()
+    timeline = Timeline(sim, bucket_s=0.5)
+
+    def app():
+        timeline.record(1000)
+        yield sim.timeout(0.6)
+        timeline.record(4000)
+
+    sim.run(until=sim.process(app()))
+    series = timeline.bandwidth_series_bps()
+    assert series[0] == (0.0, pytest.approx(16000.0))
+    assert series[1] == (0.5, pytest.approx(64000.0))
+    assert timeline.peak_bandwidth_bps() == pytest.approx(64000.0)
+
+
+def test_empty_timeline():
+    timeline = Timeline(Simulator())
+    assert timeline.series() == []
+    assert timeline.peak_bandwidth_bps() == 0.0
+
+
+def test_origin_is_creation_time():
+    sim = Simulator()
+
+    def app():
+        yield sim.timeout(5.0)
+        timeline = Timeline(sim, bucket_s=1.0)
+        timeline.record(10)
+        return timeline
+
+    timeline = sim.run(until=sim.process(app()))
+    assert timeline.series() == [(0.0, 10, 1)]
+
+
+def test_invalid_bucket_rejected():
+    with pytest.raises(ValueError):
+        Timeline(Simulator(), bucket_s=0)

@@ -1,0 +1,61 @@
+"""Full-mesh socket construction."""
+
+from repro.net.mesh import build_full_mesh
+from repro.net.tcp import TcpStack
+from repro.simnet.config import NetworkConfig
+from repro.simnet.kernel import Simulator
+from repro.simnet.topology import Network
+
+
+def build(n):
+    sim = Simulator()
+    net = Network(sim, n, NetworkConfig())
+    stacks = {i: TcpStack(sim, h, net) for i, h in enumerate(net.hosts)}
+    return sim, stacks
+
+
+def test_mesh_connects_every_pair():
+    sim, stacks = build(4)
+
+    def app():
+        sockets = yield from build_full_mesh(sim, stacks, port=9100)
+        return sockets
+
+    sockets = sim.run(until=sim.process(app()))
+    for a in range(4):
+        assert sorted(sockets[a]) == [b for b in range(4) if b != a]
+
+
+def test_mesh_sockets_are_paired():
+    sim, stacks = build(3)
+
+    def app():
+        sockets = yield from build_full_mesh(sim, stacks, port=9101)
+        yield from sockets[0][2].send("zero-to-two")
+        msg = yield from sockets[2][0].recv()
+        yield from sockets[2][0].send("two-to-zero")
+        reply = yield from sockets[0][2].recv()
+        return msg, reply
+
+    assert sim.run(until=sim.process(app())) == ("zero-to-two", "two-to-zero")
+
+
+def test_mesh_closes_listeners():
+    sim, stacks = build(2)
+
+    def app():
+        yield from build_full_mesh(sim, stacks, port=9102)
+        # port free again: a second mesh on the same port must work
+        yield from build_full_mesh(sim, stacks, port=9102)
+
+    sim.run(until=sim.process(app()))
+
+
+def test_single_rank_mesh_is_empty():
+    sim, stacks = build(1)
+
+    def app():
+        sockets = yield from build_full_mesh(sim, stacks, port=9103)
+        return sockets
+
+    assert sim.run(until=sim.process(app())) == {0: {}}

@@ -1,0 +1,24 @@
+"""TCP cost-model invariants (the asymmetry against RDMA)."""
+
+from repro.net.tcp import TcpModel
+from repro.rdma.device import NicModel
+from repro.simnet.config import us
+
+
+def test_kernel_costs_dwarf_nic_costs():
+    tcp = TcpModel()
+    nic = NicModel()
+    tcp_per_message = tcp.send_overhead_s + tcp.recv_overhead_s
+    nic_per_op = nic.doorbell_s + nic.wqe_processing_s + nic.completion_s
+    assert tcp_per_message > 10 * nic_per_op
+
+
+def test_header_overhead_fields():
+    tcp = TcpModel()
+    assert 0 < tcp.header_fraction < 0.2
+    assert tcp.header_floor_bytes >= 40  # IP + TCP headers minimum
+
+
+def test_connect_cost_is_control_path_scale():
+    tcp = TcpModel()
+    assert tcp.connect_overhead_s > us(50)

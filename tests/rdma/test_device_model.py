@@ -1,0 +1,48 @@
+"""NIC cost-model sanity: the calibrated asymmetries hold by construction."""
+
+from repro.rdma.device import PAGE_SIZE, NicModel
+from repro.simnet.config import us
+
+
+def test_page_size_is_4k():
+    assert PAGE_SIZE == 4096
+
+
+def test_control_path_dwarfs_data_path():
+    model = NicModel()
+    data_path_op = (
+        model.doorbell_s + model.wqe_processing_s + model.remote_dma_s
+        + model.completion_s
+    )
+    assert model.create_qp_s > 20 * data_path_op
+    assert model.reg_mr_base_s > 10 * data_path_op
+    assert model.cm_setup_s > 30 * data_path_op
+
+
+def test_registration_scales_per_page():
+    model = NicModel()
+    one_gib_pages = (1 << 30) // PAGE_SIZE
+    cost = model.reg_mr_base_s + one_gib_pages * model.reg_mr_per_page_s
+    # pinning a GiB takes on the order of 100 ms — the cost RStore pays
+    # once at server boot, never on the data path
+    assert 0.01 < cost < 1.0
+
+
+def test_small_read_budget_close_to_hardware():
+    """The latency decomposition lands in the published 2-3 us window."""
+    model = NicModel()
+    one_way = 2 * 0.25e-6 + 0.25e-6  # two hops + switch, from NetworkConfig
+    read = (
+        model.doorbell_s
+        + model.wqe_processing_s
+        + one_way                       # request
+        + model.remote_dma_s
+        + one_way                       # response
+        + model.completion_s
+    )
+    assert us(1.5) < read < us(3.5)
+
+
+def test_retry_timeout_far_above_rtt():
+    model = NicModel()
+    assert model.retry_timeout_s > 1000 * us(3)

@@ -1,0 +1,91 @@
+"""SparseBuffer: the lazy backing store for multi-GiB server arenas."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdma.memory import Buffer, HostMemory, SparseBuffer
+from repro.rdma.types import RdmaError
+from repro.simnet.config import GiB, MiB
+
+
+def test_large_alloc_is_sparse_small_is_dense():
+    mem = HostMemory(host_id=0)
+    small = mem.alloc(1 * MiB)
+    large = mem.alloc(64 * MiB)
+    assert type(small) is Buffer
+    assert isinstance(large, SparseBuffer)
+
+
+def test_untouched_reads_are_zero():
+    buf = SparseBuffer(0x1000, 16 * MiB, host_id=0)
+    assert buf.read(12345, 100) == bytes(100)
+    assert buf.materialized_bytes == 0
+
+
+def test_write_read_roundtrip_within_block():
+    buf = SparseBuffer(0, 1 * MiB, host_id=0)
+    buf.write(1000, b"hello")
+    assert buf.read(1000, 5) == b"hello"
+    assert buf.read(990, 25) == bytes(10) + b"hello" + bytes(10)
+
+
+def test_write_spanning_blocks():
+    buf = SparseBuffer(0, 1 * MiB, host_id=0)
+    block = SparseBuffer.BLOCK
+    payload = bytes(range(256)) * 1024  # 256 KiB, crosses 4 blocks
+    buf.write(block - 100, payload)
+    assert buf.read(block - 100, len(payload)) == payload
+
+
+def test_materialization_is_block_granular():
+    buf = SparseBuffer(0, 1 * GiB, host_id=0)
+    buf.write(0, b"x")
+    assert buf.materialized_bytes == SparseBuffer.BLOCK
+    buf.write(500 * MiB, b"y")
+    assert buf.materialized_bytes == 2 * SparseBuffer.BLOCK
+
+
+def test_multi_gib_buffer_costs_nothing_until_written():
+    buf = SparseBuffer(0, 64 * GiB, host_id=0)
+    assert len(buf) == 64 * GiB
+    assert buf.materialized_bytes == 0
+
+
+def test_bounds_enforced():
+    buf = SparseBuffer(0, 1000, host_id=0)
+    with pytest.raises(RdmaError):
+        buf.write(990, b"far too long")
+    with pytest.raises(RdmaError):
+        buf.read(500, 501)
+    with pytest.raises(RdmaError):
+        buf.read(-1, 10)
+
+
+def test_dense_data_accessor_rejected():
+    buf = SparseBuffer(0, 1000, host_id=0)
+    with pytest.raises(RdmaError):
+        _ = buf.data
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=300_000),
+            st.binary(min_size=1, max_size=2000),
+        ),
+        max_size=20,
+    ),
+)
+def test_sparse_matches_dense_reference(writes):
+    """Property: a sparse buffer behaves exactly like a bytearray."""
+    size = 302_000
+    sparse = SparseBuffer(0, size, host_id=0)
+    dense = bytearray(size)
+    for offset, payload in writes:
+        if offset + len(payload) > size:
+            continue
+        sparse.write(offset, payload)
+        dense[offset : offset + len(payload)] = payload
+    assert sparse.read(0, size) == bytes(dense)

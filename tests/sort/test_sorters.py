@@ -1,0 +1,127 @@
+"""End-to-end sorting: RSort and the TeraSort baseline."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_cluster
+from repro.core import RStoreConfig
+from repro.simnet.config import KiB, MiB
+from repro.sort import RSort, TeraSortBaseline
+from repro.workloads.kv import RECORD_BYTES, generate_records, is_sorted, keys_of
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return build_cluster(
+        num_machines=4,
+        config=RStoreConfig(stripe_size=256 * KiB),
+        server_capacity=512 * MiB,
+    )
+
+
+def expected_multiset(records_per_worker, workers, seed=0):
+    parts = [
+        generate_records(records_per_worker, seed=seed + rank)
+        for rank in range(workers)
+    ]
+    return np.concatenate(parts)
+
+
+class TestRSort:
+    def test_produces_globally_sorted_output(self, cluster):
+        sorter = RSort(cluster, records_per_worker=3000, seed=0, tag="s1")
+        stats = cluster.run_app(sorter.run())
+        output = cluster.run_app(sorter.collect_output())
+        assert len(output) == sorter.total_records
+        assert is_sorted(output)
+        assert stats.elapsed > 0
+        assert sum(stats.per_worker_output) == sorter.total_records
+
+    def test_output_is_permutation_of_input(self, cluster):
+        sorter = RSort(cluster, records_per_worker=2000, seed=3, tag="s2")
+        cluster.run_app(sorter.run())
+        output = cluster.run_app(sorter.collect_output())
+        expected = expected_multiset(2000, sorter.num_workers, seed=3)
+        got = np.sort(output.view([("r", np.uint8, RECORD_BYTES)]).ravel())
+        want = np.sort(expected.view([("r", np.uint8, RECORD_BYTES)]).ravel())
+        assert (got == want).all()
+
+    def test_partition_boundaries_respect_order(self, cluster):
+        sorter = RSort(cluster, records_per_worker=2000, seed=5, tag="s3")
+        cluster.run_app(sorter.run())
+        # each worker's output max key <= next worker's min key
+        client = cluster.client(0)
+
+        def read_part(rank):
+            mapping = yield from client.map(f"s3.out.{rank}")
+            blob = yield from mapping.read(0, mapping.size)
+            return np.frombuffer(blob, dtype=np.uint8).reshape(
+                -1, RECORD_BYTES
+            )
+
+        parts = [
+            cluster.run_app(read_part(rank))
+            for rank in range(sorter.num_workers)
+        ]
+        boundary_keys = []
+        for part in parts:
+            if len(part):
+                keys = keys_of(part)
+                boundary_keys.append((bytes(keys[0]), bytes(keys[-1])))
+        for (_lo1, hi1), (lo2, _hi2) in zip(boundary_keys, boundary_keys[1:]):
+            assert hi1 <= lo2
+
+    def test_scaled_run_same_output_more_time(self, cluster):
+        plain = RSort(cluster, records_per_worker=1500, seed=9, tag="s4")
+        scaled = RSort(cluster, records_per_worker=1500, seed=9, tag="s5",
+                       scale=50)
+        t_plain = cluster.run_app(plain.run()).elapsed
+        t_scaled = cluster.run_app(scaled.run()).elapsed
+        out_plain = cluster.run_app(plain.collect_output())
+        out_scaled = cluster.run_app(scaled.collect_output())
+        assert (out_plain == out_scaled).all()
+        assert t_scaled > 10 * t_plain
+
+    def test_validation(self, cluster):
+        with pytest.raises(ValueError):
+            RSort(cluster, records_per_worker=0)
+        with pytest.raises(ValueError):
+            RSort(cluster, records_per_worker=10, scale=0)
+
+
+class TestTeraSortBaseline:
+    def test_produces_sorted_permutation(self, cluster):
+        sorter = TeraSortBaseline(cluster, records_per_worker=2000, seed=0,
+                                  tag="t1")
+        stats = cluster.run_app(sorter.run())
+        output = sorter.collect_output()
+        assert len(output) == sorter.total_records
+        assert is_sorted(output)
+        expected = expected_multiset(2000, sorter.num_workers, seed=0)
+        got = np.sort(output.view([("r", np.uint8, RECORD_BYTES)]).ravel())
+        want = np.sort(expected.view([("r", np.uint8, RECORD_BYTES)]).ravel())
+        assert (got == want).all()
+        assert stats.elapsed > 0
+
+    def test_rsort_beats_terasort(self, cluster):
+        """The paper's headline sort claim (full 8x margin checked at
+        benchmark scale in E7): in-memory RDMA sort beats the disk-bound
+        map-reduce pipeline."""
+        scale = 200
+        rsort = RSort(cluster, records_per_worker=2000, seed=1, tag="race-r",
+                      scale=scale)
+        tera = TeraSortBaseline(cluster, records_per_worker=2000, seed=1,
+                                tag="race-t", scale=scale)
+        r_stats = cluster.run_app(rsort.run())
+        t_stats = cluster.run_app(tera.run())
+        assert t_stats.elapsed > 3 * r_stats.elapsed
+
+    def test_agrees_with_rsort(self, cluster):
+        rsort = RSort(cluster, records_per_worker=1000, seed=4, tag="eq-r")
+        tera = TeraSortBaseline(cluster, records_per_worker=1000, seed=4,
+                                tag="eq-t")
+        cluster.run_app(rsort.run())
+        cluster.run_app(tera.run())
+        a = cluster.run_app(rsort.collect_output())
+        b = tera.collect_output()
+        assert (a == b).all()

@@ -1,0 +1,53 @@
+"""CLI smoke tests (small scales: each runs a real simulation)."""
+
+import pytest
+
+from repro.tools.cli import main
+
+
+def test_info_lists_model_constants(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "NetworkConfig" in out
+    assert "link_rate_bps" in out
+    assert "RStoreConfig" in out
+
+
+def test_latency_prints_table(capsys):
+    assert main(["latency", "--reps", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "read (us)" in out
+    assert "1048576" in out
+
+
+def test_bandwidth_reports_aggregate(capsys):
+    assert main(["bandwidth", "--machines", "3", "--scale", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "aggregate=" in out
+    aggregate = float(out.split("aggregate=")[1].split(" ")[0])
+    assert aggregate > 100  # 3 machines at ~50 Gb/s each
+
+
+def test_pagerank_reports_speedup(capsys):
+    assert main(["pagerank", "--machines", "3", "--scale", "10",
+                 "--iterations", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+
+
+def test_sort_reports_ratio(capsys):
+    assert main(["sort", "--machines", "3", "--records", "1500",
+                 "--gigabytes", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "RSort" in out and "ratio" in out
+
+
+def test_kv_reports_ops(capsys):
+    assert main(["kv", "--clients", "2", "--ops", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "kops/s" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["definitely-not-a-command"])

@@ -1,0 +1,71 @@
+"""Access-pattern generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.access import (
+    OpMix,
+    generate_ops,
+    uniform_keys,
+    zipfian_keys,
+)
+
+
+def test_zipfian_is_skewed():
+    keys = zipfian_keys(50_000, keyspace=1000, theta=0.99, seed=1)
+    counts = np.bincount(keys, minlength=1000)
+    # the hottest key draws far more than its uniform share
+    assert counts.max() > 20 * (50_000 / 1000)
+    # and hotter ranks dominate colder ones on average
+    assert counts[:10].sum() > counts[-100:].sum()
+
+
+def test_zipfian_theta_zero_is_uniform():
+    keys = zipfian_keys(50_000, keyspace=100, theta=0.0, seed=2)
+    counts = np.bincount(keys, minlength=100)
+    assert counts.max() < 2.0 * counts.mean()
+
+
+def test_zipfian_deterministic_and_in_range():
+    a = zipfian_keys(1000, 500, seed=3)
+    b = zipfian_keys(1000, 500, seed=3)
+    assert (a == b).all()
+    assert a.min() >= 0 and a.max() < 500
+
+
+def test_zipfian_validation():
+    with pytest.raises(ValueError):
+        zipfian_keys(10, 0)
+    with pytest.raises(ValueError):
+        zipfian_keys(-1, 10)
+    with pytest.raises(ValueError):
+        zipfian_keys(10, 10, theta=-1)
+
+
+def test_uniform_keys_range():
+    keys = uniform_keys(1000, 50, seed=4)
+    assert keys.min() >= 0 and keys.max() < 50
+
+
+def test_op_mix_presets():
+    assert OpMix.ycsb_a().read == 0.5
+    assert OpMix.ycsb_b().read == 0.95
+    assert OpMix.ycsb_c().read == 1.0
+
+
+def test_op_mix_must_sum_to_one():
+    with pytest.raises(ValueError):
+        OpMix(read=0.5, update=0.2, insert=0.1)
+
+
+def test_generate_ops_respects_mix():
+    ops = generate_ops(10_000, keyspace=100, mix=OpMix.ycsb_b(), seed=5)
+    reads = sum(1 for kind, _k in ops if kind == OpMix.READ)
+    updates = sum(1 for kind, _k in ops if kind == OpMix.UPDATE)
+    assert reads + updates == 10_000
+    assert 0.93 < reads / 10_000 < 0.97
+
+
+def test_generate_ops_read_only():
+    ops = generate_ops(500, keyspace=10, mix=OpMix.ycsb_c(), seed=6)
+    assert all(kind == OpMix.READ for kind, _k in ops)
