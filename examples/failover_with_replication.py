@@ -1,11 +1,15 @@
 #!/usr/bin/env python
-"""Surviving a memory-server crash with replicated regions.
+"""Surviving a memory-server crash — and healing from it.
 
 Two regions hold the same dataset — one single-copy (the paper's
 volatile store) and one with replication=2 (this reproduction's
 availability extension).  A memory server is then killed.  The master's
 lease checker detects the failure, promotes surviving replicas, and the
-replicated region keeps serving reads while the single-copy one is gone.
+replicated region keeps serving reads while the single-copy one is
+gone.  The background repair planner then re-replicates the degraded
+stripes onto live servers, so the durable region ends the run back at
+two copies of every stripe — the printed repair timeline shows each
+step as the master took it.
 
 Run:  python examples/failover_with_replication.py
 """
@@ -53,7 +57,19 @@ def main():
         status = "AVAILABLE" if region.available else (
             f"UNAVAILABLE ({region.unavailable_reason})"
         )
-        print(f"    {name:8s} v{region.version}  {status}")
+        copies = min(s.replication for s in region.stripes)
+        print(f"    {name:8s} v{region.version}  {status}  "
+              f"(min copies per stripe: {copies})")
+
+    print("repair timeline (from the master's planner):")
+    for when, message in cluster.master.repair.log:
+        print(f"    [{when * 1e3:8.2f} ms] {message}")
+    durable = cluster.master.regions["durable"]
+    healed = all(
+        s.replication == durable.target_replication for s in durable.stripes
+    )
+    print(f"    durable healed back to replication="
+          f"{durable.target_replication}: {healed}")
 
     def read_back():
         reader = cluster.client(2)

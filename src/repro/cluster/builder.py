@@ -18,7 +18,10 @@ from repro.core.master import Master
 from repro.core.server import MemoryServer
 from repro.net.tcp import TcpStack
 from repro.rdma.cm import ConnectionManager
+from repro.rdma.memory import reset_key_counter
 from repro.rdma.nic import RNic
+from repro.rdma.pd import reset_pd_counter
+from repro.rdma.qp import reset_qpn_counter
 from repro.simnet.config import NetworkConfig
 from repro.simnet.kernel import Simulator
 from repro.simnet.topology import Network
@@ -41,6 +44,7 @@ class Cluster:
         self.servers: dict[int, MemoryServer] = {}
         self.clients: dict[int, RStoreClient] = {}
         self.boot_time: float = 0.0
+        self.faults = None
 
     @property
     def num_machines(self) -> int:
@@ -83,14 +87,26 @@ def build_cluster(
     server_hosts: Optional[Iterable[int]] = None,
     client_hosts: Optional[Iterable[int]] = None,
     server_capacity: Optional[int] = None,
+    faults=None,
 ) -> Cluster:
     """Construct and boot a cluster; returns it ready for use.
 
     By default the master runs on machine 0, every machine (including
     0) donates DRAM, and every machine gets a started client — matching
     the paper's co-located deployment.
+
+    ``faults`` takes a :class:`~repro.simnet.faults.FaultInjector`; its
+    schedule is armed right after boot (windows count from that point).
     """
     config = config or RStoreConfig()
+    # Restart the process-global handle counters so a cluster's rkeys,
+    # QPNs and PD handles do not depend on how many simulations ran
+    # earlier in this process.  Handle values ride inside pickled RPC
+    # payloads, so their sizes shift wire times by nanoseconds — enough
+    # to break bit-for-bit replay of seeded fault scenarios.
+    reset_key_counter()
+    reset_pd_counter()
+    reset_qpn_counter()
     sim = Simulator()
     net = Network(sim, num_machines, net_config or NetworkConfig())
     cm = ConnectionManager(sim, net)
@@ -130,4 +146,6 @@ def build_cluster(
 
     sim.run(until=sim.process(boot(), name="cluster-boot"))
     cluster.boot_time = sim.now
+    if faults is not None:
+        cluster.faults = faults.attach(cluster)
     return cluster

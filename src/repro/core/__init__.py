@@ -29,6 +29,7 @@ from repro.core.errors import (
 )
 from repro.core.master import Master
 from repro.core.region import RegionDesc, StripeDesc, StripeReplica
+from repro.core.repair import RepairPlanner, RepairTask
 from repro.core.server import MemoryServer
 
 __all__ = [
@@ -46,6 +47,8 @@ __all__ = [
     "RegionExistsError",
     "RegionNotFoundError",
     "RegionUnavailableError",
+    "RepairPlanner",
+    "RepairTask",
     "StripeDesc",
     "StripeReplica",
 ]

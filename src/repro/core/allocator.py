@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.core.errors import OutOfMemoryError
 
@@ -58,6 +58,13 @@ class StripeAllocator:
 
     def server(self, host_id: int) -> ServerSlot:
         return self._servers[host_id]
+
+    def get_server(self, host_id: int) -> Optional[ServerSlot]:
+        return self._servers.get(host_id)
+
+    def host_alive(self, host_id: int) -> bool:
+        slot = self._servers.get(host_id)
+        return slot is not None and slot.alive
 
     @property
     def servers(self) -> list[ServerSlot]:
@@ -158,6 +165,26 @@ class StripeAllocator:
                 slot.free += length
             raise
         return placement
+
+    def place_replacement(
+        self, length: int, exclude_hosts: Iterable[int]
+    ) -> Optional[ServerSlot]:
+        """Pick a live server for a replacement replica (repair).
+
+        Deterministic most-free choice (lowest host id breaks ties) among
+        live servers not already holding a copy; charges the tracked
+        capacity and returns the slot, or ``None`` when nothing fits.
+        """
+        exclude = set(exclude_hosts)
+        candidates = [
+            s for s in self.alive_servers
+            if s.host_id not in exclude and s.free >= length
+        ]
+        if not candidates:
+            return None
+        best = max(candidates, key=lambda s: (s.free, -s.host_id))
+        best.free -= length
+        return best
 
     def release(self, host_id: int, nbytes: int) -> None:
         """Return capacity after a region is freed."""

@@ -17,6 +17,15 @@ client-wide, so mapping a second region to the same servers is nearly
 free).  After that every ``read``/``write`` translates to one-sided
 RDMA with pure local arithmetic: RDMA's separation philosophy extended
 to the cluster.
+
+Failures on the data path are *retryable*: a completion error (server
+death, injected NIC fault) makes the mapping re-``lookup`` the region
+at the master with capped exponential backoff + deterministic jitter,
+rebuild its per-server QP table if the descriptor version advanced
+(replica promotion, background repair), and replay only the failed
+sub-operations.  An error reaches the application only once
+``data_retry_limit`` attempts are exhausted — a single server crash
+under ``replication >= 2`` is invisible.
 """
 
 from __future__ import annotations
@@ -28,19 +37,21 @@ from repro.core.config import RStoreConfig
 from repro.core.errors import (
     BoundsError,
     NotMappedError,
+    RegionNotFoundError,
     RegionUnavailableError,
     RStoreError,
 )
 from repro.core.pool import LocalBufferPool
-from repro.core.region import RegionDesc, StripeDesc
+from repro.core.region import RegionDesc
 from repro.rdma.cm import ConnectionManager
 from repro.rdma.memory import MemoryRegion
 from repro.rdma.nic import RNic
 from repro.rdma.qp import QueuePair
-from repro.rdma.types import Access, Opcode, QpState, RdmaError, WcStatus
+from repro.rdma.types import Opcode, QpState, RdmaError
 from repro.rdma.wr import SendWR
 from repro.rpc.endpoint import RpcClient, RpcRemoteError
 from repro.simnet.kernel import Simulator
+from repro.simnet.rand import derive_rng
 
 __all__ = ["RStoreClient", "Mapping"]
 
@@ -61,36 +72,59 @@ def _translated(exc: RpcRemoteError) -> Exception:
 
 
 class _DataOp:
-    """Tracks one logical operation fanned out into sub-requests."""
+    """Tracks one *round* of sub-requests fanned out for a logical op.
 
-    __slots__ = ("event", "remaining", "failure", "last_wc")
+    A piece is ``(stripe_index, stripe_offset, take, local_cursor)`` —
+    enough to replay the sub-operation against a *newer* descriptor
+    (stripe geometry is immutable; only replica sets change).  The
+    round's event always succeeds once every sub-request retires;
+    callers inspect :attr:`failure` / :attr:`failed` to decide whether
+    to remap and replay.
+    """
+
+    __slots__ = ("event", "remaining", "failure", "failed", "last_wc")
 
     def __init__(self, sim: Simulator, total: int):
         self.event = sim.event()
         self.remaining = total
         self.failure: Optional[Exception] = None
+        #: pieces whose sub-request failed (candidates for replay)
+        self.failed: list[tuple] = []
         self.last_wc = None
 
-    def on_completion(self, wc) -> None:
-        self.remaining -= 1
+    def sub_done(self, piece, wc) -> None:
         self.last_wc = wc
-        if not wc.ok and self.failure is None:
-            self.failure = RegionUnavailableError(
-                f"data-path failure: {wc.status.value} {wc.detail}"
-            )
-        if self.remaining == 0:
-            if self.failure is not None:
-                self.event.fail(self.failure)
-            else:
-                self.event.succeed()
+        if not wc.ok:
+            if self.failure is None:
+                self.failure = RegionUnavailableError(
+                    f"data-path failure: {wc.status.value} {wc.detail}"
+                )
+            if piece is not None:
+                self.failed.append(piece)
+        self._retire()
 
-    def abort(self, exc: Exception) -> None:
-        """Fail sub-requests that could not even be posted."""
-        self.remaining -= 1
+    def sub_aborted(self, piece, exc: Exception) -> None:
+        """Retire a sub-request that could not even be posted."""
         if self.failure is None:
             self.failure = exc
+        if piece is not None:
+            self.failed.append(piece)
+        self._retire()
+
+    def _retire(self) -> None:
+        self.remaining -= 1
         if self.remaining == 0:
-            self.event.fail(self.failure)
+            self.event.succeed()
+
+
+class _SubOp:
+    """The ``wr_id`` of one sub-request: its round plus its piece."""
+
+    __slots__ = ("op", "piece")
+
+    def __init__(self, op: _DataOp, piece):
+        self.op = op
+        self.piece = piece
 
 
 class _QpPump:
@@ -120,8 +154,8 @@ class _QpPump:
             self.qp.post_send(wr)
             self.inflight += 1
         except RdmaError as exc:
-            op: _DataOp = wr.wr_id
-            op.abort(RegionUnavailableError(str(exc)))
+            token: _SubOp = wr.wr_id
+            token.op.sub_aborted(token.piece, RegionUnavailableError(str(exc)))
 
 
 class Mapping:
@@ -232,33 +266,65 @@ class Mapping:
         # split stripe pieces further so no single WR exceeds the wire
         # chunk ceiling (keeps concurrent flows interleaving fairly)
         chunk = max(1, self.client.config.max_wire_chunk // wire_scale)
-        pieces = []
+        pending = []
+        cursor = local_addr
         for stripe, stripe_off, take in desc.locate(offset, length):
             pos = 0
             while pos < take:
                 part = min(chunk, take - pos)
-                pieces.append((stripe, stripe_off + pos, part))
+                pending.append((stripe.index, stripe_off + pos, part, cursor))
+                cursor += part
                 pos += part
         # writes must land on every replica; reads hit only the primary
         fan_out = opcode is Opcode.RDMA_WRITE
-        total_wrs = sum(
-            stripe.replication if fan_out else 1
-            for stripe, _off, _take in pieces
-        )
-        op = _DataOp(self.client.sim, total_wrs)
-        cursor = local_addr
-        for stripe, stripe_off, take in pieces:
+        attempts = 0
+        while True:
+            op = self._issue_round(
+                desc, opcode, local_mr, pending, fan_out, wire_scale
+            )
+            yield op.event
+            if op.failure is None:
+                break
+            attempts += 1
+            if attempts > self.client.config.data_retry_limit:
+                raise RegionUnavailableError(
+                    f"{'write' if fan_out else 'read'} on {self.name!r} "
+                    f"failed after {attempts} attempts: {op.failure}"
+                ) from op.failure
+            # replay only the failed sub-operations against a refreshed
+            # descriptor (fan-out can fail a piece on several replicas)
+            pending = list(dict.fromkeys(op.failed))
+            desc = yield from self._remap_with_backoff(attempts)
+            self.client.retries += 1
+        self.client.ops_completed += 1
+        self.client.bytes_moved += length * wire_scale
+
+    def _issue_round(self, desc, opcode, local_mr, pieces, fan_out,
+                     wire_scale) -> _DataOp:
+        """Post one round of sub-requests for *pieces*; returns its op."""
+        plans = []
+        total = 0
+        for piece in pieces:
+            stripe = desc.stripes[piece[0]]
             targets = stripe.replicas if fan_out else (stripe.primary,)
+            plans.append((piece, targets))
+            total += len(targets)
+        op = _DataOp(self.client.sim, total)
+        for piece, targets in plans:
+            _index, stripe_off, take, cursor = piece
             for replica in targets:
                 qp = self._qps.get(replica.host_id)
-                if qp is None:
-                    raise NotMappedError(
-                        f"no data QP for server {replica.host_id}; "
-                        "remap the region"
+                if qp is None or qp.state is not QpState.CONNECTED:
+                    op.sub_aborted(
+                        piece,
+                        NotMappedError(
+                            f"no usable data QP for server {replica.host_id}"
+                        ),
                     )
+                    continue
                 wr = SendWR(
                     opcode=opcode,
-                    wr_id=op,
+                    wr_id=_SubOp(op, piece),
                     local_mr=local_mr,
                     local_addr=cursor,
                     length=take,
@@ -267,10 +333,43 @@ class Mapping:
                     wire_length=take * wire_scale if wire_scale != 1 else None,
                 )
                 self.client._pump_for(qp).submit(wr)
-            cursor += take
-        yield op.event
-        self.client.ops_completed += 1
-        self.client.bytes_moved += length * wire_scale
+        return op
+
+    def _remap_with_backoff(self, attempt: int):
+        """Back off, re-``lookup``, rebuild QP tables (generator).
+
+        Backoff is capped exponential with deterministic jitter (the
+        client's private :func:`derive_rng` stream), so concurrent
+        retriers spread out yet whole simulations stay reproducible.
+        Returns the descriptor the replay should use; transient
+        control-path failures keep the current one (the next attempt
+        tries again).
+        """
+        client = self.client
+        cfg = client.config
+        delay = min(
+            cfg.retry_backoff_max_s,
+            cfg.retry_backoff_base_s * (2 ** (attempt - 1)),
+        )
+        delay *= 0.5 + client._retry_rng.random()
+        yield client.sim.timeout(delay)
+        try:
+            desc = yield from client._master_call("lookup", self.name)
+        except RegionNotFoundError:
+            raise  # freed under us: genuinely fatal
+        except (RStoreError, RpcRemoteError):
+            return self.desc  # transient master-side failure
+        if not desc.available:
+            raise RegionUnavailableError(desc.unavailable_reason)
+        try:
+            yield from client._ensure_qps(desc, self._qps)
+        except RdmaError:
+            # a hosting server is unreachable but the master has not
+            # noticed yet; keep the old layout and let the next attempt
+            # pick up the promoted descriptor
+            return self.desc
+        self.desc = desc
+        return self.desc
 
     def _atomic(self, opcode, offset, compare=0, swap=0):
         self._check_usable()
@@ -279,34 +378,49 @@ class Mapping:
         desc = yield from self._resolve()
         if not desc.available:
             raise RegionUnavailableError(desc.unavailable_reason)
-        pieces = list(desc.locate(offset, 8))
-        if len(pieces) != 1:
-            raise BoundsError("atomic target spans a stripe boundary")
-        stripe, stripe_off, _take = pieces[0]
-        if stripe.replication > 1:
-            raise RStoreError(
-                "atomics on replicated regions are not supported: a "
-                "NIC-side atomic cannot be mirrored consistently"
-            )
-        qp = self._qps.get(stripe.host_id)
-        if qp is None:
-            raise NotMappedError(
-                f"no data QP for server {stripe.host_id}; remap the region"
-            )
-        op = _DataOp(self.client.sim, 1)
-        self.client._pump_for(qp).submit(
-            SendWR(
-                opcode=opcode,
-                wr_id=op,
-                remote_addr=stripe.addr + stripe_off,
-                rkey=stripe.rkey,
-                compare=compare,
-                swap=swap,
-            )
-        )
-        yield op.event
-        self.client.ops_completed += 1
-        return op.last_wc
+        attempts = 0
+        while True:
+            pieces = list(desc.locate(offset, 8))
+            if len(pieces) != 1:
+                raise BoundsError("atomic target spans a stripe boundary")
+            stripe, stripe_off, _take = pieces[0]
+            if stripe.replication > 1:
+                raise RStoreError(
+                    "atomics on replicated regions are not supported: a "
+                    "NIC-side atomic cannot be mirrored consistently"
+                )
+            op = _DataOp(self.client.sim, 1)
+            qp = self._qps.get(stripe.host_id)
+            if qp is None or qp.state is not QpState.CONNECTED:
+                op.sub_aborted(
+                    None,
+                    NotMappedError(
+                        f"no usable data QP for server {stripe.host_id}"
+                    ),
+                )
+            else:
+                self.client._pump_for(qp).submit(
+                    SendWR(
+                        opcode=opcode,
+                        wr_id=_SubOp(op, None),
+                        remote_addr=stripe.addr + stripe_off,
+                        rkey=stripe.rkey,
+                        compare=compare,
+                        swap=swap,
+                    )
+                )
+            yield op.event
+            if op.failure is None:
+                self.client.ops_completed += 1
+                return op.last_wc
+            attempts += 1
+            if attempts > self.client.config.data_retry_limit:
+                raise RegionUnavailableError(
+                    f"atomic on {self.name!r} failed after {attempts} "
+                    f"attempts: {op.failure}"
+                ) from op.failure
+            desc = yield from self._remap_with_backoff(attempts)
+            self.client.retries += 1
 
 
 class RStoreClient:
@@ -330,9 +444,14 @@ class RStoreClient:
         self._data_qps: dict[int, QueuePair] = {}
         self._pumps: dict[QueuePair, _QpPump] = {}
         self._mem_rpc: dict[int, RpcClient] = {}
+        #: deterministic jitter stream for data-path retry backoff
+        self._retry_rng = derive_rng(
+            self.config.seed, f"rstore-client-{nic.host.host_id}-retry"
+        )
         # -- metrics
         self.ops_completed = 0
         self.bytes_moved = 0
+        self.retries = 0
 
     def start(self):
         """Connect to the cluster (generator)."""
@@ -410,6 +529,16 @@ class RStoreClient:
         if not desc.available:
             raise RegionUnavailableError(desc.unavailable_reason)
         mapping = Mapping(self, desc)
+        yield from self._ensure_qps(desc, mapping._qps)
+        return mapping
+
+    def _ensure_qps(self, desc: RegionDesc, table: dict) -> None:
+        """Connected data QP to every host of *desc* (generator).
+
+        Reconnects cached QPs that have gone to ERROR (server death or
+        injected fault), so a remap after a retry really gets a usable
+        path.  Updates both the client-wide cache and *table*.
+        """
         for host_id in desc.hosts:
             qp = self._data_qps.get(host_id)
             if qp is None or qp.state is not QpState.CONNECTED:
@@ -422,8 +551,7 @@ class RStoreClient:
                     sq_depth=self.config.data_sq_depth,
                 )
                 self._data_qps[host_id] = qp
-            mapping._qps[host_id] = qp
-        return mapping
+            table[host_id] = qp
 
     def alloc_local(self, length: int):
         """Register a private local buffer for zero-copy IO (generator)."""
@@ -467,9 +595,9 @@ class RStoreClient:
             pump = self._pumps.get(wc.qp)
             if pump is not None:
                 pump.on_complete()
-            op = wc.wr_id
-            if isinstance(op, _DataOp):
-                op.on_completion(wc)
+            token = wc.wr_id
+            if isinstance(token, _SubOp):
+                token.op.sub_done(token.piece, wc)
 
     def _two_sided_io(self, mapping: Mapping, opcode, local_mr, local_addr,
                       offset, length, desc):

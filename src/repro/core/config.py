@@ -57,6 +57,21 @@ class RStoreConfig:
     heartbeat_interval_s: float = 0.1
     #: master declares a server dead after this long without a heartbeat
     lease_timeout_s: float = 0.35
+    #: root seed for every derived deterministic RNG stream (placement
+    #: randomness, client retry jitter, fault injection defaults)
+    seed: int = 7
+    #: concurrent stripe repairs the master's planner drives after a
+    #: server death (each repair is one server→server stripe copy)
+    repair_parallelism: int = 4
+    #: how many times a repair task is re-attempted (fresh target/source)
+    #: before the planner abandons the stripe as unrepairable for now
+    repair_attempt_limit: int = 5
+    #: data-path retries (remap + replay of failed sub-operations)
+    #: before an error surfaces to the application
+    data_retry_limit: int = 6
+    #: first retry backoff; doubles per attempt (with jitter) up to the cap
+    retry_backoff_base_s: float = 0.02
+    retry_backoff_max_s: float = 0.3
     #: ablation (E9): resolve region metadata at the master on every IO
     #: instead of caching it in the mapping
     resolve_per_io: bool = False
@@ -76,3 +91,9 @@ class RStoreConfig:
             raise ValueError(
                 f"unknown allocation policy {self.allocation_policy!r}"
             )
+        if self.repair_parallelism < 1:
+            raise ValueError("repair_parallelism must be at least 1")
+        if self.data_retry_limit < 0:
+            raise ValueError("data_retry_limit cannot be negative")
+        if self.retry_backoff_base_s < 0 or self.retry_backoff_max_s < 0:
+            raise ValueError("retry backoff durations cannot be negative")

@@ -27,6 +27,7 @@ from repro.core.region import (
     StripeReplica,
     split_into_stripes,
 )
+from repro.core.repair import RepairPlanner
 from repro.rdma.cm import ConnectionManager
 from repro.rdma.nic import RNic
 from repro.rpc.endpoint import RpcClient, RpcServer
@@ -49,7 +50,10 @@ class Master:
         self.nic = nic
         self.cm = cm
         self.config = config or RStoreConfig()
-        self.allocator = StripeAllocator(policy=self.config.allocation_policy)
+        self.allocator = StripeAllocator(
+            policy=self.config.allocation_policy, seed=self.config.seed
+        )
+        self.repair = RepairPlanner(self)
         self.regions: dict[str, RegionDesc] = {}
         self._region_ids = itertools.count(1)
         self._server_rpc: dict[int, RpcClient] = {}
@@ -74,6 +78,7 @@ class Master:
             "lookup",
             "list_regions",
             "cluster_stats",
+            "repair_status",
             "barrier",
             "allreduce",
             "notify",
@@ -82,12 +87,14 @@ class Master:
             self._rpc.register(method, getattr(self, f"_{method}"))
         yield from self._rpc.start()
         self.sim.process(self._lease_checker(), name="master-lease-checker")
+        self.repair.start()
         return self
 
     # -- membership -----------------------------------------------------------
 
     def _register_server(self, host_id, capacity, rkey):
         yield self.sim.timeout(0)
+        rejoining = self.allocator.get_server(host_id) is not None
         self.allocator.add_server(
             ServerSlot(
                 host_id=host_id,
@@ -98,15 +105,24 @@ class Master:
                 last_heartbeat=self.sim.now,
             )
         )
+        if rejoining:
+            # A rebooted (or falsely declared dead) server rejoins with a
+            # clean slate: its replicas were already dropped from every
+            # descriptor, so it donates its full capacity again.
+            self.repair._note(f"server {host_id} rejoined the cluster")
         return True
 
     def _heartbeat(self, host_id):
         yield self.sim.timeout(0)
-        try:
-            self.allocator.server(host_id).last_heartbeat = self.sim.now
-        except KeyError:
-            raise RStoreError(f"heartbeat from unregistered server {host_id}")
-        return True
+        slot = self.allocator.get_server(host_id)
+        if slot is None or not slot.alive:
+            # The master no longer counts this server as a member — it
+            # rebooted, or a heartbeat gap made the lease checker declare
+            # it dead.  Its replicas are already gone from every
+            # descriptor, so recovery is simply: register again.
+            return {"needs_register": True}
+        slot.last_heartbeat = self.sim.now
+        return {"needs_register": False}
 
     def _lease_checker(self):
         cfg = self.config
@@ -119,8 +135,16 @@ class Master:
 
     def _declare_dead(self, slot: ServerSlot) -> None:
         slot.alive = False
+        # Its reservations died with its arena: hand the capacity back so
+        # the accounting is truthful if the host ever re-registers, and so
+        # cluster totals never carry ghost usage.  (Placement and repair
+        # only ever consider *alive* slots, so quarantine is implicit.)
+        slot.free = slot.capacity
         self._server_rpc.pop(slot.host_id, None)
         dead = slot.host_id
+        self.repair._note(
+            f"server {dead} declared dead (lease expired)"
+        )
         for region in self.regions.values():
             if not region.available:
                 continue
@@ -133,7 +157,8 @@ class Master:
             if all(s.replication > 1 for s in affected):
                 # Promote surviving replicas: the region stays available
                 # under a new descriptor version; clients learn on their
-                # next lookup/remap.
+                # next lookup/remap.  The repair planner then restores
+                # the lost copies in the background.
                 region.stripes = [
                     s.without_host(dead)
                     if any(r.host_id == dead for r in s.replicas)
@@ -141,6 +166,7 @@ class Master:
                     for s in region.stripes
                 ]
                 region.version += 1
+                self.repair.enqueue_degraded(region)
             else:
                 region.available = False
                 region.unavailable_reason = (
@@ -217,6 +243,7 @@ class Master:
             size=size,
             stripe_size=stripe_size,
             stripes=stripes,
+            target_replication=replication,
         )
         region.validate()
         self.regions[name] = region
@@ -254,7 +281,7 @@ class Master:
             )
         old_stripes = list(region.stripes)
         grown = new_size - region.size
-        replication = region.replication
+        replication = region.target_replication
         lengths = split_into_stripes(grown, region.stripe_size)
         placement = self.allocator.place(lengths, replication=replication)
         by_host: dict[int, list[int]] = {}
@@ -335,6 +362,11 @@ class Master:
             "total_free": self.allocator.total_free,
             "regions": len(self.regions),
         }
+
+    def _repair_status(self):
+        """Snapshot of the background repair planner (control RPC)."""
+        yield self.sim.timeout(0)
+        return self.repair.status()
 
     # -- synchronization ------------------------------------------------------------
 

@@ -76,6 +76,15 @@ class StripeDesc:
         return StripeDesc(index=self.index, length=self.length,
                           replicas=remaining)
 
+    def with_replica(self, replica: StripeReplica) -> "StripeDesc":
+        """A descriptor with *replica* appended (repair re-protection).
+
+        The new copy never becomes the primary: reads keep hitting the
+        replica that held the data all along.
+        """
+        return StripeDesc(index=self.index, length=self.length,
+                          replicas=self.replicas + (replica,))
+
 
 @dataclass
 class RegionDesc:
@@ -90,8 +99,12 @@ class RegionDesc:
     available: bool = True
     unavailable_reason: str = ""
 
-    #: bumped whenever the master rewrites the descriptor (promotion)
+    #: bumped whenever the master rewrites the descriptor (promotion,
+    #: repair, resize) — clients compare it to spot stale mappings
     version: int = 1
+    #: the replication factor requested at allocation time; the repair
+    #: planner drives every stripe back to this many copies
+    target_replication: int = 1
 
     @property
     def hosts(self) -> tuple[int, ...]:

@@ -1,0 +1,263 @@
+"""Background stripe repair: restoring replication after server death.
+
+When the master's lease checker declares a memory server dead it
+immediately *promotes* surviving replicas so affected regions stay
+available — but the promoted stripes are left degraded (fewer copies
+than the region asked for).  The planner here closes that gap entirely
+on the control path:
+
+1. degraded stripes are queued as :class:`RepairTask`\\ s;
+2. a pool of ``repair_parallelism`` workers picks a replacement server
+   (live, not already holding a copy, deterministic most-free choice),
+   reserves a slot there, and drives a server→server ``copy_stripe``
+   RPC — the *destination* pulls the stripe out of a surviving replica's
+   arena with one-sided READs, so the source CPU never runs;
+3. the new replica is swapped into the :class:`RegionDesc` atomically
+   (one instant of simulated time) and the descriptor ``version`` bumps,
+   so clients pick the new layout up on their next lookup or retry.
+
+Clients never participate and the data path stays one-sided throughout.
+Writes racing with the copy can land on the survivors after the copy
+read them; reads are anchored to the surviving primary, so applications
+always see their own writes.  The repaired copy converges for writers
+that have remapped (they fan out to it directly); see "Fault model &
+recovery" in DESIGN.md for the exact guarantee.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.region import StripeReplica
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.master import Master
+
+__all__ = ["RepairTask", "RepairPlanner"]
+
+
+@dataclass
+class RepairTask:
+    """One degraded stripe awaiting re-replication."""
+
+    region_name: str
+    stripe_index: int
+    attempts: int = 0
+
+    def __str__(self) -> str:
+        return f"stripe {self.stripe_index} of {self.region_name!r}"
+
+
+@dataclass
+class _RepairStats:
+    repaired: int = 0
+    abandoned: int = 0
+    copies_driven: int = 0
+    bytes_copied: int = 0
+    log: list[tuple[float, str]] = field(default_factory=list)
+
+
+class RepairPlanner:
+    """The master's background re-replication engine."""
+
+    def __init__(self, master: "Master"):
+        self.master = master
+        self.sim = master.sim
+        self._queue: deque[RepairTask] = deque()
+        self._waiters: list = []
+        self._stats = _RepairStats()
+
+    # -- public surface ------------------------------------------------------
+
+    @property
+    def log(self) -> list[tuple[float, str]]:
+        """Timeline of repair events as ``(sim_time, message)`` pairs."""
+        return self._stats.log
+
+    @property
+    def repaired(self) -> int:
+        return self._stats.repaired
+
+    @property
+    def abandoned(self) -> int:
+        return self._stats.abandoned
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def status(self) -> dict:
+        return {
+            "pending": len(self._queue),
+            "repaired": self._stats.repaired,
+            "abandoned": self._stats.abandoned,
+            "copies_driven": self._stats.copies_driven,
+            "bytes_copied": self._stats.bytes_copied,
+            "log": list(self._stats.log),
+        }
+
+    def start(self) -> None:
+        """Spawn the worker pool (called from ``Master.start``)."""
+        for idx in range(self.master.config.repair_parallelism):
+            self.sim.process(self._worker(), name=f"repair-worker-{idx}")
+
+    def enqueue_degraded(self, region) -> None:
+        """Queue every stripe of *region* that is below its target."""
+        if not region.available:
+            return
+        queued = {
+            (t.region_name, t.stripe_index) for t in self._queue
+        }
+        for stripe in region.stripes:
+            if stripe.replication >= region.target_replication:
+                continue
+            key = (region.name, stripe.index)
+            if key in queued:
+                continue
+            self._queue.append(RepairTask(region.name, stripe.index))
+            self._note(
+                f"queued repair of stripe {stripe.index} of "
+                f"{region.name!r} ({stripe.replication}/"
+                f"{region.target_replication} copies)"
+            )
+        self._kick()
+
+    # -- internals -----------------------------------------------------------
+
+    def _note(self, message: str) -> None:
+        self._stats.log.append((self.sim.now, message))
+
+    def _kick(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed()
+
+    def _worker(self):
+        while self.master.alive:
+            if not self._queue:
+                event = self.sim.event()
+                self._waiters.append(event)
+                yield event
+                continue
+            task = self._queue.popleft()
+            try:
+                yield from self._repair_stripe(task)
+            except Exception as exc:  # noqa: BLE001 - workers must survive
+                self._retry_or_abandon(task, str(exc))
+
+    def _retry_or_abandon(self, task: RepairTask, reason: str) -> None:
+        task.attempts += 1
+        if task.attempts >= self.master.config.repair_attempt_limit:
+            self._stats.abandoned += 1
+            self._note(f"abandoned {task}: {reason}")
+        else:
+            self._note(f"retrying {task} (attempt {task.attempts}): {reason}")
+            self._queue.append(task)
+            self._kick()
+
+    def _current_stripe(self, task: RepairTask):
+        """The live (region, stripe) pair for *task*, or ``(None, None)``
+        when the repair is moot (region freed, lost, or already whole)."""
+        region = self.master.regions.get(task.region_name)
+        if region is None or not region.available:
+            return None, None
+        if task.stripe_index >= len(region.stripes):
+            return None, None
+        stripe = region.stripes[task.stripe_index]
+        if stripe.replication >= region.target_replication:
+            return None, None
+        return region, stripe
+
+    def _pick_source(self, stripe) -> Optional[StripeReplica]:
+        allocator = self.master.allocator
+        for replica in stripe.replicas:
+            if allocator.host_alive(replica.host_id):
+                return replica
+        return None
+
+    def _repair_stripe(self, task: RepairTask):
+        region, stripe = self._current_stripe(task)
+        if region is None:
+            return
+        allocator = self.master.allocator
+        source = self._pick_source(stripe)
+        if source is None:
+            # every copy is gone; the lease checker will (or already did)
+            # mark the region unavailable — nothing left to copy from
+            self._stats.abandoned += 1
+            self._note(f"abandoned {task}: no live source replica")
+            return
+        exclude = [r.host_id for r in stripe.replicas]
+        slot = allocator.place_replacement(stripe.length, exclude)
+        if slot is None:
+            self._retry_or_abandon(task, "no live server with capacity")
+            return
+
+        target = slot.host_id
+        addr = None
+        try:
+            client = yield from self.master._server_client(target)
+            addrs, rkey = yield from client.call(
+                "reserve_batch", [stripe.length]
+            )
+            addr = addrs[0]
+            # Destination pulls the stripe out of the surviving replica's
+            # arena.  Generous timeout so a target dying mid-copy cannot
+            # wedge the worker forever.
+            timeout_s = 1.0 + stripe.length / (64 << 20)
+            yield from client.call(
+                "copy_stripe",
+                source.host_id,
+                source.addr,
+                source.rkey,
+                addr,
+                stripe.length,
+                timeout=timeout_s,
+            )
+        except Exception as exc:
+            allocator.release(target, stripe.length)
+            if addr is not None and allocator.host_alive(target):
+                try:
+                    yield from client.call("release_batch", [addr])
+                except Exception:  # noqa: BLE001 - target just died
+                    pass
+            self._retry_or_abandon(task, f"copy via server {target}: {exc}")
+            return
+
+        self._stats.copies_driven += 1
+        self._stats.bytes_copied += stripe.length
+
+        # Re-validate before publishing: the cluster may have changed
+        # under the copy (region freed, another failure, target died).
+        region, stripe = self._current_stripe(task)
+        if (
+            region is None
+            or not allocator.host_alive(target)
+            or self._pick_source(stripe) is None
+            or any(r.host_id == target for r in stripe.replicas)
+        ):
+            allocator.release(target, stripe.length)
+            if allocator.host_alive(target):
+                try:
+                    yield from client.call("release_batch", [addr])
+                except Exception:  # noqa: BLE001 - best effort
+                    pass
+            self._retry_or_abandon(task, "cluster changed during the copy")
+            return
+
+        # Atomic swap: one assignment at one simulated instant.
+        replica = StripeReplica(host_id=target, addr=addr, rkey=rkey)
+        region.stripes[task.stripe_index] = stripe.with_replica(replica)
+        region.version += 1
+        self._stats.repaired += 1
+        self._note(
+            f"re-replicated stripe {stripe.index} of {region.name!r} "
+            f"onto server {target} ({stripe.replication + 1}/"
+            f"{region.target_replication} copies, v{region.version})"
+        )
+        if stripe.replication + 1 < region.target_replication:
+            # lost more than one copy; keep going until whole again
+            self._queue.append(RepairTask(task.region_name, task.stripe_index))
+            self._kick()

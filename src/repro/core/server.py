@@ -5,12 +5,16 @@ At startup the server allocates its arena, registers it with its NIC
 opens two fabric services —
 
 * ``rstore-mem``: control RPC used by the master to reserve/release
-  stripes, and by the two-sided ablation to read/write through the CPU;
+  stripes, drive repair copies, and by the two-sided ablation to
+  read/write through the CPU;
 * ``rstore-data``: a passive endpoint clients connect their data QPs
   to; all normal traffic on it is one-sided and never schedules a
   single instruction on this host —
 
-and then announces itself to the master and starts heartbeating.
+and then announces itself to the master and starts heartbeating.  If
+the master replies that it no longer knows us (reboot, or a heartbeat
+gap that tripped the lease checker), the server resets its arena and
+registers again — rejoining is just re-registration.
 """
 
 from __future__ import annotations
@@ -19,13 +23,46 @@ from typing import Optional
 
 from repro.core.arena import Arena
 from repro.core.config import RStoreConfig
+from repro.core.errors import RStoreError
 from repro.rdma.cm import ConnectionManager
 from repro.rdma.nic import RNic
-from repro.rdma.types import Access
-from repro.rpc.endpoint import RpcClient, RpcServer
+from repro.rdma.types import Access, Opcode, QpState, RdmaError
+from repro.rdma.wr import SendWR
+from repro.rpc.endpoint import RpcClient, RpcRemoteError, RpcServer
 from repro.simnet.kernel import Simulator
 
 __all__ = ["MemoryServer"]
+
+
+class _CopyOp:
+    """Completion tracker for one ``copy_stripe`` fan of READ WRs."""
+
+    __slots__ = ("event", "remaining", "failure")
+
+    def __init__(self, sim: Simulator, total: int):
+        self.event = sim.event()
+        self.remaining = total
+        self.failure: Optional[Exception] = None
+
+    def on_completion(self, wc) -> None:
+        if not wc.ok and self.failure is None:
+            self.failure = RStoreError(
+                f"stripe copy failed: {wc.status.value} {wc.detail}"
+            )
+        self._retire()
+
+    def abort(self, exc: Exception) -> None:
+        if self.failure is None:
+            self.failure = exc
+        self._retire()
+
+    def _retire(self) -> None:
+        self.remaining -= 1
+        if self.remaining == 0:
+            if self.failure is not None:
+                self.event.fail(self.failure)
+            else:
+                self.event.succeed()
 
 
 class MemoryServer:
@@ -50,16 +87,22 @@ class MemoryServer:
         self.alive = False
         self._rpc: Optional[RpcServer] = None
         self._master: Optional[RpcClient] = None
+        self._data_pd = None
+        #: CQ + QP cache for control-path repair copies from peer arenas
+        self._copy_cq = None
+        self._peer_qps: dict[int, object] = {}
+        #: optional fault injector (wired by the cluster builder)
+        self.faults = None
 
     def start(self):
         """Boot the server (generator): arena, services, registration."""
         cfg = self.config
-        data_pd = yield from self.nic.alloc_pd()
+        self._data_pd = yield from self.nic.alloc_pd()
         data_cq = yield from self.nic.create_cq()
         # One registration for the whole donation — the control-path
         # cost RStore pays once so the data path never does.
         self.arena_mr = yield from self.nic.reg_mr(
-            data_pd, length=self.capacity, access=Access.all_remote()
+            self._data_pd, length=self.capacity, access=Access.all_remote()
         )
         self.arena = Arena(self.arena_mr.addr, self.capacity)
 
@@ -68,12 +111,18 @@ class MemoryServer:
         )
         self._rpc.register("reserve_batch", self._reserve_batch)
         self._rpc.register("release_batch", self._release_batch)
+        self._rpc.register("copy_stripe", self._copy_stripe)
         self._rpc.register("ts_read", self._ts_read)
         self._rpc.register("ts_write", self._ts_write)
         self._rpc.register("stats", self._stats)
         yield from self._rpc.start()
 
-        self.cm.listen(self.nic, cfg.data_service, data_pd, data_cq)
+        self.cm.listen(self.nic, cfg.data_service, self._data_pd, data_cq)
+
+        self._copy_cq = yield from self.nic.create_cq()
+        self.sim.process(
+            self._copy_dispatcher(), name=f"copy-dispatch-{self.host_id}"
+        )
 
         self._master = RpcClient(self.sim, self.nic, self.cm)
         yield from self._master.connect(cfg.master_host, cfg.master_service)
@@ -109,9 +158,69 @@ class MemoryServer:
         assert self.arena is not None
         freed = 0
         for addr in addrs:
-            freed += self.arena.release(addr)
+            try:
+                freed += self.arena.release(addr)
+            except RStoreError:
+                # The reservation predates an arena reset (we rejoined
+                # after a false-positive death and re-donated a clean
+                # arena); there is nothing left to free.
+                pass
         yield self.sim.timeout(0)
         return freed
+
+    def _copy_stripe(self, src_host, src_addr, src_rkey, dst_addr, length):
+        """Pull *length* bytes from a peer's arena into ours (generator).
+
+        The repair data copy: driven by the master over control RPC, but
+        executed as one-sided READs from the surviving replica's arena —
+        the *source* host's CPU stays idle, keeping repair invisible to
+        its data-path traffic.  ``dst_addr`` must be a reservation the
+        master just made on this server.
+        """
+        qp = self._peer_qps.get(src_host)
+        if qp is None or qp.state is not QpState.CONNECTED:
+            qp = yield from self.cm.connect(
+                self.nic,
+                src_host,
+                self.config.data_service,
+                self._data_pd,
+                self._copy_cq,
+                sq_depth=self.config.data_sq_depth,
+            )
+            self._peer_qps[src_host] = qp
+        chunk = self.config.max_wire_chunk
+        pieces = [
+            (pos, min(chunk, length - pos)) for pos in range(0, length, chunk)
+        ]
+        if len(pieces) > qp.sq_depth:
+            raise RStoreError(
+                f"stripe of {length} bytes needs {len(pieces)} copy WRs, "
+                f"more than the send queue holds ({qp.sq_depth})"
+            )
+        op = _CopyOp(self.sim, len(pieces))
+        for pos, take in pieces:
+            wr = SendWR(
+                opcode=Opcode.RDMA_READ,
+                wr_id=op,
+                local_mr=self.arena_mr,
+                local_addr=dst_addr + pos,
+                length=take,
+                remote_addr=src_addr + pos,
+                rkey=src_rkey,
+            )
+            try:
+                qp.post_send(wr)
+            except RdmaError as exc:
+                op.abort(RStoreError(f"copy post failed: {exc}"))
+        yield op.event
+        return length
+
+    def _copy_dispatcher(self):
+        while True:
+            wc = yield self._copy_cq.next_completion()
+            op = wc.wr_id
+            if isinstance(op, _CopyOp):
+                op.on_completion(wc)
 
     def _ts_read(self, addr, length):
         """Two-sided ablation: read arena bytes through the server CPU."""
@@ -141,8 +250,43 @@ class MemoryServer:
     def _heartbeat_loop(self):
         assert self._master is not None
         while self.alive:
+            extra_delay = 0.0
+            if self.faults is not None:
+                action, extra_delay = self.faults.heartbeat_action(self.host_id)
+                if action == "drop":
+                    yield self.sim.timeout(self.config.heartbeat_interval_s)
+                    continue
+            if extra_delay > 0.0:
+                yield self.sim.timeout(extra_delay)
+                if not self.alive:
+                    return
             try:
-                yield from self._master.call("heartbeat", self.host_id)
+                reply = yield from self._master.call("heartbeat", self.host_id)
+            except RpcRemoteError:
+                # transient master-side failure (e.g. injected fault):
+                # the master is up, so just try again next period
+                yield self.sim.timeout(self.config.heartbeat_interval_s)
+                continue
             except Exception:
                 return  # master unreachable; nothing useful left to do
+            if isinstance(reply, dict) and reply.get("needs_register"):
+                try:
+                    yield from self._reregister()
+                except Exception:
+                    return
             yield self.sim.timeout(self.config.heartbeat_interval_s)
+
+    def _reregister(self):
+        """Rejoin after the master forgot us (generator).
+
+        The master has already dropped every replica we hosted, so our
+        old reservations are orphaned: reset the arena bookkeeping and
+        donate the full capacity again.  The arena MR stays registered,
+        so clients holding stale descriptors can still complete in-flight
+        one-sided reads against the old bytes until they remap.
+        """
+        assert self.arena_mr is not None
+        self.arena = Arena(self.arena_mr.addr, self.capacity)
+        yield from self._master.call(
+            "register_server", self.host_id, self.capacity, self.arena_mr.rkey
+        )

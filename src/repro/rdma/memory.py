@@ -18,9 +18,22 @@ from typing import Optional
 from repro.rdma.device import PAGE_SIZE
 from repro.rdma.types import Access, RdmaError
 
-__all__ = ["Buffer", "SparseBuffer", "HostMemory", "MemoryRegion"]
+__all__ = ["Buffer", "SparseBuffer", "HostMemory", "MemoryRegion",
+           "reset_key_counter"]
 
 _key_counter = itertools.count(1)
+
+
+def reset_key_counter() -> None:
+    """Restart lkey/rkey handout (fresh-simulation reproducibility).
+
+    Handle values leak into pickled RPC payloads, so their *sizes* —
+    and therefore simulated wire times — depend on how many simulations
+    ran earlier in this process unless each one starts from the same
+    counter state.  Only call between simulations.
+    """
+    global _key_counter
+    _key_counter = itertools.count(1)
 
 
 class Buffer:

@@ -44,6 +44,9 @@ class RNic:
         self.model = model or NicModel()
         self.memory = HostMemory(host.host_id)
         self.alive = True
+        #: optional fault-injection hook: ``hook(host_id, wr) -> str``
+        #: returning a non-empty detail fails the WR with RETRY_EXC_ERR
+        self.fault_hook: Optional[Callable[[int, SendWR], str]] = None
         self._engine_busy_until = 0.0
         #: rkey -> MemoryRegion, the NIC's translation/permission table
         self.mr_by_rkey: dict[int, MemoryRegion] = {}
@@ -155,6 +158,18 @@ class RNic:
     def _launch(self, qp: QueuePair, wr: SendWR) -> None:
         if not self.alive:
             return  # a dead host sends nothing and nobody is listening
+        if self.fault_hook is not None:
+            detail = self.fault_hook(self.host.host_id, wr)
+            if detail:
+                # injected wire fault: the op times out and errors the QP,
+                # exactly like losing the peer mid-flight
+                self._after(
+                    self.model.retry_timeout_s,
+                    lambda: self._complete(
+                        qp, wr, WcStatus.RETRY_EXC_ERR, detail=detail
+                    ),
+                )
+                return
         remote_qp = qp.remote
         assert remote_qp is not None, "connected QP lost its peer"
         opcode = wr.opcode

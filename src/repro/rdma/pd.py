@@ -8,9 +8,15 @@ from __future__ import annotations
 
 import itertools
 
-__all__ = ["ProtectionDomain"]
+__all__ = ["ProtectionDomain", "reset_pd_counter"]
 
 _pd_counter = itertools.count(1)
+
+
+def reset_pd_counter() -> None:
+    """Restart PD handle handout (fresh-simulation reproducibility)."""
+    global _pd_counter
+    _pd_counter = itertools.count(1)
 
 
 class ProtectionDomain:

@@ -19,9 +19,15 @@ from repro.rdma.cq import CompletionQueue, WorkCompletion
 from repro.rdma.types import Opcode, QpError, QpState, RdmaError, WcStatus
 from repro.rdma.wr import RecvWR, SendWR
 
-__all__ = ["QueuePair"]
+__all__ = ["QueuePair", "reset_qpn_counter"]
 
 _qpn_counter = itertools.count(100)
+
+
+def reset_qpn_counter() -> None:
+    """Restart QP number handout (fresh-simulation reproducibility)."""
+    global _qpn_counter
+    _qpn_counter = itertools.count(100)
 
 
 class QueuePair:

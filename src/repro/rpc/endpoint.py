@@ -105,6 +105,9 @@ class RpcServer(_HandlerRegistry):
         self.service_id = service_id
         self.msg_size = msg_size
         self.requests_served = 0
+        #: optional fault-injection hook: ``hook(service_id, method) ->
+        #: str``; a non-empty string fails the call with that message
+        self.fault_hook: Optional[Callable[[str, str], str]] = None
 
     def start(self):
         """Begin listening (generator)."""
@@ -141,7 +144,19 @@ class RpcServer(_HandlerRegistry):
 
     def _handle(self, channel: RdmaMsgChannel, request: RpcRequest):
         yield from self.nic.host.cpu.run(DISPATCH_CPU_S)
-        response = yield from self.dispatch(request)
+        detail = ""
+        if self.fault_hook is not None:
+            detail = self.fault_hook(self.service_id, request.method)
+        if detail:
+            # injected transient failure: the handler never runs, the
+            # caller sees a remote RStoreError and is expected to retry
+            response = RpcResponse(
+                call_id=request.call_id,
+                error=detail,
+                error_type="RStoreError",
+            )
+        else:
+            response = yield from self.dispatch(request)
         self.requests_served += 1
         try:
             yield from channel.send(response, wire_size=response.wire_size)

@@ -21,12 +21,14 @@ from repro.simnet.kernel import (
     Simulator,
     Timeout,
 )
+from repro.simnet.faults import FaultInjector
 from repro.simnet.resources import Resource, Store
 from repro.simnet.config import NetworkConfig
 from repro.simnet.topology import Host, Network
 
 __all__ = [
     "Event",
+    "FaultInjector",
     "Host",
     "Interrupt",
     "Network",

@@ -1,0 +1,233 @@
+"""Deterministic fault injection for cluster simulations.
+
+A :class:`FaultInjector` is a *schedule* of misbehaviour declared before
+(or while) a simulation runs, plus the hooks that make components act on
+it.  Everything is driven by the simulated clock and a seeded RNG
+stream, so a fault scenario replays bit-for-bit from its seed:
+
+* **server crashes** — kill a memory server's host at a chosen time;
+* **heartbeat drops / delays** — make a healthy server look dead to the
+  master (false-positive death), then let it resume and rejoin;
+* **transient RPC failures** — a control-plane call fails with a remote
+  ``RStoreError`` without running its handler (callers must retry);
+* **wire faults** — a one-sided data operation launched by a chosen
+  host completes with ``RETRY_EXC_ERR``, erroring its QP exactly like a
+  peer dying mid-flight (clients must remap and replay).
+
+Wiring happens in :meth:`attach`, which the cluster builder calls right
+after boot when given ``faults=``; all windows are in seconds **after
+attach** so scenarios do not depend on how long booting took.
+
+    faults = FaultInjector(seed=11)
+    faults.crash_server(3, at=0.5)
+    faults.drop_heartbeats(2, start=1.0, duration=0.2)
+    faults.fail_rpc(0, method="lookup", start=0.1, duration=0.05)
+    faults.fail_wire(1, start=0.3, duration=0.1, probability=0.5)
+    cluster = build_cluster(8, faults=faults)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.rdma.types import Opcode
+from repro.simnet.rand import derive_rng
+
+__all__ = ["FaultInjector"]
+
+#: wire faults default to the one-sided data path — RPC SENDs carry the
+#: control plane, whose resilience is exercised by fail_rpc instead
+_DATA_OPCODES = frozenset({
+    Opcode.RDMA_READ,
+    Opcode.RDMA_WRITE,
+    Opcode.RDMA_WRITE_IMM,
+    Opcode.ATOMIC_CAS,
+    Opcode.ATOMIC_FAA,
+})
+
+
+@dataclass
+class _Window:
+    """One fault window: [start, end) in post-attach simulated seconds."""
+
+    start: float
+    end: float
+    #: heartbeat windows: "drop" or "delay"; delay seconds for "delay"
+    mode: str = "drop"
+    delay: float = 0.0
+    #: rpc/wire windows: which method (None = all) and how likely
+    method: Optional[str] = None
+    probability: float = 1.0
+    #: cap on injections from this window (None = unlimited)
+    times: Optional[int] = None
+    fired: int = 0
+
+    def open_at(self, now: float) -> bool:
+        if not (self.start <= now < self.end):
+            return False
+        return self.times is None or self.fired < self.times
+
+
+class FaultInjector:
+    """A seeded, scheduled source of failures for one cluster."""
+
+    def __init__(self, seed: int = 7):
+        self.seed = seed
+        self._rng = derive_rng(seed, "fault-injector")
+        self._crashes: list[tuple[float, int]] = []
+        self._heartbeat: dict[int, list[_Window]] = {}
+        self._rpc: dict[int, list[_Window]] = {}
+        self._wire: dict[int, list[_Window]] = {}
+        self._cluster = None
+        self._t0 = 0.0
+        #: injection timeline: ``(sim_time, message)`` pairs
+        self.log: list[tuple[float, str]] = []
+        self.injected = {"crashes": 0, "heartbeats": 0, "rpc": 0, "wire": 0}
+
+    # -- schedule declaration ------------------------------------------------
+
+    def crash_server(self, host_id: int, at: float) -> "FaultInjector":
+        """Kill *host_id*'s server (NIC and all) *at* seconds in."""
+        self._crashes.append((at, host_id))
+        return self
+
+    def drop_heartbeats(self, host_id: int, start: float,
+                        duration: float) -> "FaultInjector":
+        """Silently skip every heartbeat in the window — the server
+        stays healthy but the master's lease expires."""
+        self._heartbeat.setdefault(host_id, []).append(
+            _Window(start, start + duration, mode="drop")
+        )
+        return self
+
+    def delay_heartbeats(self, host_id: int, start: float, duration: float,
+                         delay: float) -> "FaultInjector":
+        """Add *delay* seconds in front of each heartbeat in the window."""
+        self._heartbeat.setdefault(host_id, []).append(
+            _Window(start, start + duration, mode="delay", delay=delay)
+        )
+        return self
+
+    def fail_rpc(self, host_id: int, start: float, duration: float,
+                 method: Optional[str] = None, probability: float = 1.0,
+                 times: Optional[int] = None) -> "FaultInjector":
+        """Fail control RPCs served *on host_id* inside the window."""
+        self._rpc.setdefault(host_id, []).append(
+            _Window(start, start + duration, method=method,
+                    probability=probability, times=times)
+        )
+        return self
+
+    def fail_wire(self, host_id: int, start: float, duration: float,
+                  probability: float = 1.0,
+                  times: Optional[int] = None) -> "FaultInjector":
+        """Fail one-sided operations *launched by host_id* in the window
+        with a completion error (the QP goes to ERROR, like real RC)."""
+        self._wire.setdefault(host_id, []).append(
+            _Window(start, start + duration, probability=probability,
+                    times=times)
+        )
+        return self
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach(self, cluster) -> "FaultInjector":
+        """Arm the schedule against a booted cluster."""
+        self._cluster = cluster
+        self._t0 = cluster.sim.now
+        for host_id, server in cluster.servers.items():
+            server.faults = self
+            if server._rpc is not None and host_id in self._rpc:
+                server._rpc.fault_hook = self._rpc_hook(host_id)
+        master = cluster.master
+        if master is not None:
+            master_host = master.nic.host.host_id
+            if master_host in self._rpc:
+                master._rpc.fault_hook = self._rpc_hook(master_host)
+        for host_id in self._wire:
+            cluster.nics[host_id].fault_hook = self._wire_hook(host_id)
+        for at, host_id in sorted(self._crashes):
+            cluster.sim.process(
+                self._crash_proc(at, host_id), name=f"fault-crash-{host_id}"
+            )
+        return self
+
+    # -- hooks (consulted by the components) ---------------------------------
+
+    def heartbeat_action(self, host_id: int) -> tuple[str, float]:
+        """What should this heartbeat round do?  ``("drop", 0)``,
+        ``("delay", extra_seconds)``, or ``("send", 0)``."""
+        now = self._now()
+        for window in self._heartbeat.get(host_id, ()):
+            if window.open_at(now):
+                window.fired += 1
+                self.injected["heartbeats"] += 1
+                if window.mode == "drop":
+                    self._note(f"dropped heartbeat from server {host_id}")
+                    return "drop", 0.0
+                self._note(
+                    f"delayed heartbeat from server {host_id} "
+                    f"by {window.delay}s"
+                )
+                return "delay", window.delay
+        return "send", 0.0
+
+    def _rpc_hook(self, host_id: int):
+        def hook(service_id: str, method: str) -> str:
+            now = self._now()
+            for window in self._rpc.get(host_id, ()):
+                if not window.open_at(now):
+                    continue
+                if window.method is not None and window.method != method:
+                    continue
+                if self._rng.random() >= window.probability:
+                    continue
+                window.fired += 1
+                self.injected["rpc"] += 1
+                self._note(
+                    f"failed rpc {method!r} on {service_id!r} "
+                    f"(host {host_id})"
+                )
+                return f"injected fault: {method} on host {host_id}"
+            return ""
+
+        return hook
+
+    def _wire_hook(self, host_id: int):
+        def hook(_launch_host: int, wr) -> str:
+            if wr.opcode not in _DATA_OPCODES:
+                return ""
+            now = self._now()
+            for window in self._wire.get(host_id, ()):
+                if not window.open_at(now):
+                    continue
+                if self._rng.random() >= window.probability:
+                    continue
+                window.fired += 1
+                self.injected["wire"] += 1
+                self._note(
+                    f"failed {wr.opcode.name} launched by host {host_id}"
+                )
+                return f"injected wire fault on host {host_id}"
+            return ""
+
+        return hook
+
+    # -- internals -----------------------------------------------------------
+
+    def _now(self) -> float:
+        assert self._cluster is not None, "attach() the injector first"
+        return self._cluster.sim.now - self._t0
+
+    def _note(self, message: str) -> None:
+        self.log.append((self._cluster.sim.now, message))
+
+    def _crash_proc(self, at: float, host_id: int):
+        yield self._cluster.sim.timeout(at)
+        server = self._cluster.servers.get(host_id)
+        if server is None or not server.alive:
+            return
+        self.injected["crashes"] += 1
+        self._note(f"crashed server {host_id}")
+        self._cluster.kill_server(host_id)

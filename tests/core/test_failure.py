@@ -5,14 +5,16 @@ import pytest
 from repro.core import RegionUnavailableError, RStoreConfig
 from repro.cluster import build_cluster
 from repro.simnet.config import KiB, MiB
+from repro.simnet.faults import FaultInjector
 
 
-def fresh_cluster():
+def fresh_cluster(faults=None):
     return build_cluster(
         num_machines=4,
         config=RStoreConfig(stripe_size=64 * KiB, heartbeat_interval_s=0.02,
                             lease_timeout_s=0.07),
         server_capacity=64 * MiB,
+        faults=faults,
     )
 
 
@@ -110,6 +112,52 @@ def test_surviving_regions_keep_working_after_unrelated_death():
         return data
 
     assert cluster.run_app(verify()) == b"persist"
+
+
+def test_flapping_server_rejoins_after_false_positive_death():
+    """Heartbeats delayed past the lease: the master declares the server
+    dead (a false positive — the host never crashed), replicated regions
+    survive via promotion + repair, and once heartbeats resume the
+    server learns it was dropped and simply re-registers."""
+    faults = FaultInjector(seed=3)
+    # silence longer than lease_timeout (0.07), then resume
+    faults.drop_heartbeats(3, start=0.2, duration=0.15)
+    cluster = fresh_cluster(faults=faults)
+    client = cluster.client(1)
+
+    def setup():
+        region = yield from client.alloc("steady", 256 * KiB, replication=2)
+        mapping = yield from client.map(region)
+        yield from mapping.write(0, b"hold the line")
+        return region
+
+    cluster.run_app(setup())
+
+    # mid-window: the lease has expired and the master dropped host 3,
+    # even though its server process is perfectly healthy
+    cluster.run(until=cluster.boot_time + 0.32)
+    assert not cluster.master.allocator.host_alive(3)
+    assert cluster.servers[3].alive
+
+    # window over: heartbeats resume, the reply says needs_register,
+    # and the server rejoins with a clean arena
+    cluster.run(until=cluster.sim.now + 1.0)
+    slot = cluster.master.allocator.get_server(3)
+    assert slot is not None and slot.alive
+    assert any("rejoined" in msg for _t, msg in cluster.master.repair.log)
+
+    # no region was lost: promotion kept it available, repair re-filled
+    # the copies that lived on host 3
+    region = cluster.master.regions["steady"]
+    assert region.available
+    assert all(s.replication == 2 for s in region.stripes)
+
+    def verify():
+        mapping = yield from cluster.client(2).map("steady")
+        data = yield from mapping.read(0, 13)
+        return data
+
+    assert cluster.run_app(verify()) == b"hold the line"
 
 
 def test_cluster_stats_reflect_dead_server():

@@ -1,0 +1,239 @@
+"""Background stripe repair: self-healing replication.
+
+Semantics pinned here:
+
+* killing one server of a ``replication=2`` region during sustained
+  writes is invisible to the application — zero errors, every write
+  readable afterwards — and the master heals the region back to full
+  replication in the background (version advances past the promotion
+  bump);
+* the repaired copy lands on a live server that did not already hold
+  one, and its bytes match the surviving primary;
+* injected transient wire faults are absorbed by client retry;
+* the whole scenario — fault schedule, repair timeline, final bytes —
+  replays bit-for-bit from a fixed seed.
+"""
+
+from repro.cluster import build_cluster
+from repro.core import RStoreConfig, RStoreError
+from repro.simnet.config import KiB, MiB
+from repro.simnet.faults import FaultInjector
+
+REGION = 256 * KiB
+CHUNK = 4 * KiB
+
+
+def fresh_cluster(seed=7, machines=5, faults=None):
+    return build_cluster(
+        num_machines=machines,
+        config=RStoreConfig(stripe_size=64 * KiB, heartbeat_interval_s=0.02,
+                            lease_timeout_s=0.07, seed=seed),
+        server_capacity=64 * MiB,
+        faults=faults,
+    )
+
+
+def _pattern(i):
+    return bytes((i * 37 + j) % 256 for j in range(CHUNK))
+
+
+def run_kill_under_writes(seed):
+    """Kill one replica holder mid-write-storm; returns the evidence."""
+    cluster = fresh_cluster(seed=seed)
+    client = cluster.client(1)
+    outcome = {}
+
+    def workload():
+        region = yield from client.alloc("busy", REGION, replication=2)
+        mapping = yield from client.map(region)
+        outcome["initial_version"] = region.version
+        victim = next(
+            h for h in region.hosts
+            if h not in (cluster.config.master_host, 1)
+        )
+        outcome["victim"] = victim
+        errors = 0
+        for i in range(REGION // CHUNK):
+            if i == 8:
+                cluster.kill_server(victim)
+            try:
+                yield from mapping.write(i * CHUNK, _pattern(i))
+            except RStoreError:
+                errors += 1
+        outcome["errors"] = errors
+
+    cluster.run_app(workload())
+    # let the lease expire and the background repair drain
+    cluster.run(until=cluster.sim.now + 2.0)
+
+    reader = next(
+        h for h in range(cluster.num_machines)
+        if h not in (cluster.config.master_host, 1, outcome["victim"])
+    )
+
+    def read_back():
+        mapping = yield from cluster.client(reader).map("busy")
+        data = yield from mapping.read(0, REGION)
+        return data
+
+    outcome["data"] = cluster.run_app(read_back())
+    outcome["region"] = cluster.master.regions["busy"]
+    outcome["repair_log"] = list(cluster.master.repair.log)
+    outcome["repaired"] = cluster.master.repair.repaired
+    outcome["retries"] = client.retries
+    outcome["end_time"] = cluster.sim.now
+    return outcome
+
+
+def test_killed_server_heals_without_app_errors():
+    outcome = run_kill_under_writes(seed=7)
+    region = outcome["region"]
+    victim = outcome["victim"]
+
+    assert outcome["errors"] == 0
+    assert outcome["retries"] >= 1  # the crash was actually felt
+    # healed: every stripe back at two copies, none on the dead server
+    assert region.available
+    assert all(s.replication == 2 for s in region.stripes)
+    assert all(
+        victim not in [r.host_id for r in s.replicas]
+        for s in region.stripes
+    )
+    # promotion bumped once, repair at least once more
+    assert region.version >= outcome["initial_version"] + 2
+    assert outcome["repaired"] >= 1
+    # every write is readable afterwards
+    expected = b"".join(_pattern(i) for i in range(REGION // CHUNK))
+    assert outcome["data"] == expected
+
+
+def test_kill_scenario_is_deterministic_from_its_seed():
+    first = run_kill_under_writes(seed=11)
+    second = run_kill_under_writes(seed=11)
+    assert first["victim"] == second["victim"]
+    assert first["errors"] == second["errors"]
+    assert first["retries"] == second["retries"]
+    assert first["data"] == second["data"]
+    assert first["repair_log"] == second["repair_log"]
+    assert first["end_time"] == second["end_time"]
+    assert first["region"].version == second["region"].version
+
+
+def test_repaired_replica_matches_surviving_primary():
+    cluster = fresh_cluster()
+    client = cluster.client(1)
+
+    def setup():
+        region = yield from client.alloc("quiet", REGION, replication=2)
+        mapping = yield from client.map(region)
+        for i in range(REGION // CHUNK):
+            yield from mapping.write(i * CHUNK, _pattern(i))
+        return region
+
+    region = cluster.run_app(setup())
+    victim = next(
+        h for h in region.hosts if h not in (cluster.config.master_host, 1)
+    )
+    cluster.kill_server(victim)
+    cluster.run(until=cluster.sim.now + 2.0)
+
+    healed = cluster.master.regions["quiet"]
+    assert all(s.replication == 2 for s in healed.stripes)
+    for stripe in healed.stripes:
+        views = []
+        for replica in stripe.replicas:
+            arena_mr = cluster.servers[replica.host_id].arena_mr
+            offset = arena_mr.offset_of(replica.addr)
+            views.append(arena_mr.buffer.read(offset, stripe.length))
+        assert views[0] == views[1], f"stripe {stripe.index} diverged"
+        # distinct live hosts hold the two copies
+        hosts = [r.host_id for r in stripe.replicas]
+        assert len(set(hosts)) == 2
+        assert victim not in hosts
+
+
+def test_repair_status_rpc_reports_the_timeline():
+    cluster = fresh_cluster()
+    client = cluster.client(1)
+
+    def setup():
+        region = yield from client.alloc("observed", REGION, replication=2)
+        return region
+
+    region = cluster.run_app(setup())
+    victim = next(
+        h for h in region.hosts if h not in (cluster.config.master_host, 1)
+    )
+    cluster.kill_server(victim)
+    cluster.run(until=cluster.sim.now + 2.0)
+
+    def status():
+        reply = yield from client._master_call("repair_status")
+        return reply
+
+    reply = cluster.run_app(status())
+    assert reply["pending"] == 0
+    assert reply["repaired"] >= 1
+    # one full stripe pulled per lost copy, no more, no less
+    assert reply["bytes_copied"] == reply["repaired"] * 64 * KiB
+    assert any("re-replicated" in msg for _t, msg in reply["log"])
+
+
+def test_transient_wire_faults_are_absorbed_by_retry():
+    faults = FaultInjector(seed=5)
+    # the first two data-path launches from host 1 inside the window
+    # fail with a completion error (QP goes to ERROR, like real RC)
+    faults.fail_wire(1, start=0.0, duration=10.0, times=2)
+    cluster = fresh_cluster(faults=faults)
+    client = cluster.client(1)
+
+    def app():
+        region = yield from client.alloc("bumpy", 64 * KiB, replication=2)
+        mapping = yield from client.map(region)
+        yield from mapping.write(0, b"despite the weather")
+        data = yield from mapping.read(0, 19)
+        return data
+
+    assert cluster.run_app(app()) == b"despite the weather"
+    assert cluster.faults.injected["wire"] == 2
+    assert client.retries >= 1
+
+
+def test_losing_two_servers_heals_as_long_as_one_copy_survives():
+    cluster = fresh_cluster(machines=6)
+    client = cluster.client(1)
+
+    def setup():
+        region = yield from client.alloc("tough", REGION, replication=2)
+        mapping = yield from client.map(region)
+        yield from mapping.write(0, b"still here")
+        return region
+
+    region = cluster.run_app(setup())
+    victims = [
+        h for h in region.hosts if h not in (cluster.config.master_host, 1)
+    ][:2]
+    cluster.kill_server(victims[0])
+    cluster.run(until=cluster.sim.now + 1.5)
+    cluster.kill_server(victims[1])
+    cluster.run(until=cluster.sim.now + 1.5)
+
+    healed = cluster.master.regions["tough"]
+    assert healed.available
+    assert all(s.replication == 2 for s in healed.stripes)
+    for stripe in healed.stripes:
+        assert not any(
+            r.host_id in victims for r in stripe.replicas
+        )
+
+    reader = next(
+        h for h in range(cluster.num_machines)
+        if h not in (cluster.config.master_host, 1) and h not in victims
+    )
+
+    def verify():
+        mapping = yield from cluster.client(reader).map("tough")
+        data = yield from mapping.read(0, 10)
+        return data
+
+    assert cluster.run_app(verify()) == b"still here"
