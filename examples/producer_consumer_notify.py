@@ -1,22 +1,26 @@
 #!/usr/bin/env python
 """Producer/consumer coordination over shared distributed memory.
 
-Shows the synchronization side of the API: a producer streams chunks
-into a shared region and publishes a watermark with remote atomics; a
-consumer on another machine polls the watermark with one-sided reads
-and drains data as it appears — no server code anywhere, the classic
-RStore pattern of using DRAM + atomics as the coordination fabric.
+Shows the synchronization side of the API, upgraded to the
+coordination subsystem: a producer streams chunks through a
+``DoorbellQueue`` — an MPSC ring living in a mapped region, with
+FAA-reserved slots, version-word publish, and a doorbell counter — and
+a consumer on another machine drains it.  No server code anywhere: the
+NIC is the queue.  When idle, the consumer polls a single 8-byte
+doorbell word instead of scanning the data region (the old watermark
+pattern this example used to hand-roll).
 
 Run:  python examples/producer_consumer_notify.py
 """
 
 from repro.cluster import build_cluster
+from repro.coord import DoorbellQueue
 from repro.core import RStoreConfig
 from repro.simnet.config import KiB, MiB
 
 CHUNK = 32 * KiB
 CHUNKS = 16
-HEADER = 8  # the watermark counter lives at offset 0
+RING_SLOTS = 4  # bounded: the ring wraps 4 times over the run
 
 
 def main():
@@ -30,37 +34,34 @@ def main():
     consumer_client = cluster.client(2)
 
     def producer():
-        region = yield from producer_client.alloc(
-            "stream", HEADER + CHUNKS * CHUNK
+        # setup (control path, once): alloc + map the ring region
+        queue = yield from DoorbellQueue.create(
+            producer_client, "stream", capacity=RING_SLOTS,
+            slot_payload=CHUNK, preferred_host=2,
         )
-        mapping = yield from producer_client.map(region)
         yield from producer_client.notify("stream-ready")
         for i in range(CHUNKS):
             payload = bytes([i % 256]) * CHUNK
-            yield from mapping.write(HEADER + i * CHUNK, payload)
-            # bump the watermark so the consumer sees chunk i
-            yield from mapping.faa(0, 1)
+            # data path: FAA-reserve a slot, RDMA-write the chunk,
+            # publish the slot's sequence word, ring the doorbell
+            yield from queue.send(payload)
             yield sim.timeout(50e-6)  # production cadence
-        print(f"[{sim.now * 1e3:7.3f} ms] producer: all {CHUNKS} chunks out")
+        print(f"[{sim.now * 1e3:7.3f} ms] producer: all {CHUNKS} chunks "
+              f"out ({queue.stalls} ring-full stalls)")
 
     def consumer():
         yield from consumer_client.wait_note("stream-ready")
-        mapping = yield from consumer_client.map("stream")
-        consumed = 0
-        while consumed < CHUNKS:
-            raw = yield from mapping.read(0, 8)
-            available = int.from_bytes(raw, "little")
-            while consumed < available:
-                chunk = yield from mapping.read(
-                    HEADER + consumed * CHUNK, CHUNK
-                )
-                assert chunk == bytes([consumed % 256]) * CHUNK
-                print(f"[{sim.now * 1e3:7.3f} ms] consumer: chunk "
-                      f"{consumed} verified")
-                consumed += 1
-            if consumed < CHUNKS:
-                yield sim.timeout(20e-6)  # poll interval
-        print(f"[{sim.now * 1e3:7.3f} ms] consumer: stream complete")
+        queue = yield from DoorbellQueue.open(
+            consumer_client, "stream", capacity=RING_SLOTS,
+            slot_payload=CHUNK,
+        )
+        for i in range(CHUNKS):
+            chunk = yield from queue.recv()
+            assert chunk == bytes([i % 256]) * CHUNK
+            print(f"[{sim.now * 1e3:7.3f} ms] consumer: chunk "
+                  f"{i} verified")
+        print(f"[{sim.now * 1e3:7.3f} ms] consumer: stream complete "
+              f"({queue.polls} idle doorbell polls)")
 
     def app():
         p = cluster.spawn(producer(), name="producer")

@@ -1,0 +1,44 @@
+"""One-sided coordination: locks, barriers, counters, queues on atomics.
+
+RStore's separation philosophy says the data path must involve no
+server CPU and no master lookups.  This package extends that to
+*coordination*: every primitive allocates a small named region once at
+setup (the only control-path work it ever does) and then synchronizes
+purely with one-sided ``faa``/``cas``/``read``/``write`` — the NIC is
+the lock manager, the barrier tree, and the mailbox.
+
+=================  =====================================================
+primitive          protocol
+=================  =====================================================
+`AtomicCounter`    FAA word with client-side cached reads
+`RemoteLock`       CAS spinlock, capped exponential backoff + jitter
+`SeqLock`          writer-versioned optimistic reads (hashkv's protocol)
+`SenseBarrier`     sense-reversing FAA barrier for N parties
+`DoorbellQueue`    MPSC ring: FAA-reserved slots, version-word publish,
+                   doorbell counter for the consumer
+=================  =====================================================
+
+All coordination regions are unreplicated (``replication=1``): NIC
+atomics cannot be mirrored, so coordination state dies with its server
+and is re-created, never repaired.  Atomics in this package use the
+non-retryable default of ``Mapping.faa``/``cas`` — a completion error
+surfaces instead of risking a double-applied FAA (see DESIGN.md,
+"Coordination subsystem").
+"""
+
+from repro.coord.barrier import SenseBarrier
+from repro.coord.base import Backoff, CoordError
+from repro.coord.counter import AtomicCounter
+from repro.coord.doorbell import DoorbellQueue
+from repro.coord.lock import RemoteLock
+from repro.coord.seqlock import SeqLock
+
+__all__ = [
+    "AtomicCounter",
+    "Backoff",
+    "CoordError",
+    "DoorbellQueue",
+    "RemoteLock",
+    "SenseBarrier",
+    "SeqLock",
+]

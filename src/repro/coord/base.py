@@ -1,0 +1,90 @@
+"""Shared plumbing for the coordination primitives.
+
+Every primitive in :mod:`repro.coord` follows the same separation
+discipline as the store itself:
+
+* **setup (control path)** — ``create`` allocates a small named region
+  through the master and maps it; ``open`` maps an existing one.  These
+  are the only master RPCs a primitive ever makes.
+* **steady state (data path)** — all coordination runs on one-sided
+  ``faa``/``cas``/``read``/``write`` against the mapped region.  No
+  server CPU, no master, no messages.
+
+Coordination regions are allocated with ``replication=1`` because
+NIC-side atomics cannot be mirrored consistently across replicas (see
+``Mapping._atomic``); a coordination word that outlives its server must
+be re-created, not repaired.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.errors import RStoreError
+from repro.simnet.kernel import Simulator
+from repro.simnet.rand import derive_rng
+
+__all__ = ["CoordError", "Backoff", "region_name", "read_word", "write_word"]
+
+#: all coordination regions live under one reserved name prefix
+_PREFIX = "coord."
+
+
+class CoordError(RStoreError):
+    """Coordination-layer failure (protocol misuse or livelock)."""
+
+
+def region_name(name: str) -> str:
+    """The store-level region name backing the primitive *name*."""
+    return name if name.startswith(_PREFIX) else _PREFIX + name
+
+
+def read_word(mapping, offset: int):
+    """One-sided read of an 8-byte little-endian word (generator)."""
+    raw = yield from mapping.read(offset, 8)
+    return int.from_bytes(raw, "little")
+
+
+def write_word(mapping, offset: int, value: int):
+    """One-sided write of an 8-byte little-endian word (generator)."""
+    yield from mapping.write(offset, (value % (1 << 64)).to_bytes(8, "little"))
+
+
+class Backoff:
+    """Capped exponential backoff with deterministic jitter.
+
+    The jitter stream derives from the cluster seed plus a caller
+    label, so contending clients spread out (no lockstep convoys on a
+    contended CAS word) while whole simulations replay bit-for-bit.
+    """
+
+    def __init__(self, sim: Simulator, rng: random.Random,
+                 base_s: float = 2e-6, max_s: float = 200e-6):
+        self.sim = sim
+        self.rng = rng
+        self.base_s = base_s
+        self.max_s = max_s
+        self.attempt = 0
+
+    @classmethod
+    def for_client(cls, client, label: str, base_s: float = 2e-6,
+                   max_s: float = 200e-6) -> "Backoff":
+        """A backoff with a private jitter stream for *label*."""
+        rng = derive_rng(
+            client.config.seed,
+            f"coord-{label}-host-{client.nic.host.host_id}",
+        )
+        return cls(client.sim, rng, base_s=base_s, max_s=max_s)
+
+    def reset(self) -> None:
+        self.attempt = 0
+
+    def pause(self):
+        """Sleep one backoff step (generator); doubles up to the cap."""
+        self.attempt += 1
+        # cap the exponent too: long poll loops push attempt into the
+        # thousands, where 2**n no longer fits a float
+        exponent = min(self.attempt - 1, 63)
+        delay = min(self.max_s, self.base_s * (2.0 ** exponent))
+        delay *= 0.5 + self.rng.random()
+        yield self.sim.timeout(delay)

@@ -1,0 +1,102 @@
+"""A distributed counter on one remote fetch-and-add word.
+
+Region layout (8 bytes)::
+
+    [ value 8B ]  -- wraps at 2^64 like the NIC's FAA unit
+
+``add`` is one FAA on the wire; ``read`` is one 8-byte one-sided read.
+Every operation refreshes a client-local cache (:attr:`cached`), and
+``read(max_age_s=...)`` serves from that cache when it is fresh enough
+— the pattern BSP engines use to poll convergence totals without
+hammering the hosting NIC.
+"""
+
+from __future__ import annotations
+
+from repro.coord.base import read_word, region_name
+
+__all__ = ["AtomicCounter"]
+
+
+class AtomicCounter:
+    """A shared 64-bit counter driven by one-sided FAA."""
+
+    REGION_SIZE = 8
+
+    def __init__(self, client, name: str, mapping, offset: int = 0):
+        self.client = client
+        self.name = name
+        self.mapping = mapping
+        self.offset = offset
+        #: last value observed by this handle (post-op for ``add``)
+        self.cached = 0
+        self._cached_at = float("-inf")
+
+    # -- setup (control path) ------------------------------------------------
+
+    @classmethod
+    def create(cls, client, name: str, initial: int = 0,
+               preferred_host=None):
+        """Allocate and map a fresh counter region (generator)."""
+        region = region_name(name)
+        yield from client.alloc(region, cls.REGION_SIZE, replication=1,
+                                preferred_host=preferred_host)
+        mapping = yield from client.map(region)
+        counter = cls(client, name, mapping)
+        if initial:
+            yield from counter.mapping.write(
+                0, initial.to_bytes(8, "little")
+            )
+            counter._observe(initial)
+        return counter
+
+    @classmethod
+    def open(cls, client, name: str):
+        """Map an existing counter from another client (generator)."""
+        mapping = yield from client.map(region_name(name))
+        return cls(client, name, mapping)
+
+    # -- steady state (data path) --------------------------------------------
+
+    def add(self, delta: int, idempotent: bool = False):
+        """Fetch-and-add *delta* (generator); returns the new value.
+
+        One FAA on the wire.  A completion failure raises immediately
+        unless ``idempotent=True`` — see ``Mapping.faa`` for the
+        exactly-once semantics this preserves.
+        """
+        old = yield from self.mapping.faa(self.offset, delta,
+                                         idempotent=idempotent)
+        return self._observe((old + delta) % (1 << 64))
+
+    def increment(self, idempotent: bool = False):
+        """Add one (generator); returns the new value."""
+        value = yield from self.add(1, idempotent=idempotent)
+        return value
+
+    def fetch(self, delta: int):
+        """Fetch-and-add returning the *old* value (generator) — the
+        reserve-a-range idiom (rsort's shuffle tails use this shape)."""
+        old = yield from self.mapping.faa(self.offset, delta)
+        self._observe((old + delta) % (1 << 64))
+        return old
+
+    def read(self, max_age_s: float = 0.0):
+        """Current value (generator).
+
+        With ``max_age_s > 0`` a cache entry younger than that is
+        returned without touching the wire; otherwise one 8-byte
+        one-sided read refreshes it.
+        """
+        sim = self.client.sim
+        if max_age_s > 0 and sim.now - self._cached_at <= max_age_s:
+            return self.cached
+        value = yield from read_word(self.mapping, self.offset)
+        return self._observe(value)
+
+    # -- internals -------------------------------------------------------------
+
+    def _observe(self, value: int) -> int:
+        self.cached = value
+        self._cached_at = self.client.sim.now
+        return value

@@ -1,0 +1,147 @@
+"""A sequence lock: writer-versioned optimistic reads over a body.
+
+Layout (the body immediately follows the version word)::
+
+    [ version 8B ][ body ... ]
+
+Version word semantics (the protocol ``kv/hashkv`` pioneered inline,
+generalized here):
+
+* ``0``      — never written
+* even > 0   — stable; bumped by 2 on every published mutation
+* odd        — a writer holds the word (CAS'd up from the even value)
+
+Readers never lock: snapshot the whole record in one one-sided read,
+then validate by re-reading the version word; a change (or an odd
+value) means the read raced a writer — retry.  Writers serialize
+through a remote CAS on the version word, mutate the body with plain
+one-sided writes, and publish by writing the next even version.
+
+A ``SeqLock`` is a cheap *view* over any mapped region — data
+structures instantiate one per record (hashkv: one per slot) — while
+``create``/``open`` give it a named region of its own for standalone
+use.
+"""
+
+from __future__ import annotations
+
+from repro.coord.base import Backoff, CoordError, region_name
+
+__all__ = ["SeqLock"]
+
+_WORD = 8
+
+
+class SeqLock:
+    """Optimistic-read / CAS-write concurrency over one record."""
+
+    def __init__(self, mapping, offset: int, body_size: int,
+                 max_read_retries: int = 64):
+        if body_size < 0:
+            raise CoordError("body_size cannot be negative")
+        self.mapping = mapping
+        self.offset = offset
+        self.body_size = body_size
+        self.max_read_retries = max_read_retries
+        # -- metrics
+        self.read_retries = 0
+        self.lock_failures = 0
+
+    @property
+    def record_size(self) -> int:
+        return _WORD + self.body_size
+
+    # -- setup (control path, standalone use) --------------------------------
+
+    @classmethod
+    def create(cls, client, name: str, body_size: int,
+               preferred_host=None):
+        """Allocate and map a named single-record region (generator)."""
+        region = region_name(name)
+        yield from client.alloc(region, _WORD + body_size, replication=1,
+                                preferred_host=preferred_host)
+        mapping = yield from client.map(region)
+        return cls(mapping, 0, body_size)
+
+    @classmethod
+    def open(cls, client, name: str, body_size: int):
+        """Map an existing record from another client (generator)."""
+        mapping = yield from client.map(region_name(name))
+        return cls(mapping, 0, body_size)
+
+    # -- readers (data path) ---------------------------------------------------
+
+    def read(self):
+        """One consistent ``(version, body)`` snapshot (generator).
+
+        Retries while a writer is in flight; raises :class:`CoordError`
+        after ``max_read_retries`` racing reads (livelock that long in
+        simulation means a writer died holding the word).
+        """
+        for _attempt in range(self.max_read_retries):
+            blob = yield from self.mapping.read(self.offset, self.record_size)
+            version = int.from_bytes(blob[:_WORD], "little")
+            if version % 2 == 1:
+                self.read_retries += 1
+                continue
+            check = yield from self.mapping.read(self.offset, _WORD)
+            if int.from_bytes(check, "little") == version:
+                return version, blob[_WORD:]
+            self.read_retries += 1
+        raise CoordError(
+            f"record at offset {self.offset} kept changing under "
+            f"{self.max_read_retries} reads"
+        )
+
+    # -- writers (data path) ---------------------------------------------------
+
+    def try_lock(self, version: int):
+        """CAS the even *version* to odd (generator); returns success."""
+        if version % 2 == 1:
+            raise CoordError(f"cannot lock from odd version {version}")
+        old = yield from self.mapping.cas(self.offset, version, version + 1)
+        if old != version:
+            self.lock_failures += 1
+            return False
+        return True
+
+    def publish(self, locked_version: int, body: bytes = b""):
+        """Write *body* (optional) and bump to the next even version
+        (generator).  ``locked_version`` is the odd value we CAS'd in."""
+        if locked_version % 2 == 0:
+            raise CoordError("publishing a record we never locked")
+        if body:
+            if len(body) > self.body_size:
+                raise CoordError(
+                    f"body of {len(body)} bytes exceeds record body "
+                    f"{self.body_size}"
+                )
+            yield from self.mapping.write(self.offset + _WORD, body)
+        yield from self.mapping.write(
+            self.offset, (locked_version + 1).to_bytes(8, "little")
+        )
+
+    def abort(self, original_version: int):
+        """Drop the write lock without mutating (generator): restore
+        the pre-lock even version, body untouched."""
+        if original_version % 2 == 1:
+            raise CoordError("abort restores the pre-lock even version")
+        yield from self.mapping.write(
+            self.offset, original_version.to_bytes(8, "little")
+        )
+
+    def write(self, body: bytes, backoff: Backoff = None):
+        """Full optimistic write cycle (generator): snapshot the
+        version, lock, publish; retries with backoff under contention.
+        Returns the new (even) version."""
+        pause = backoff or Backoff.for_client(
+            self.mapping.client, f"seqlock-{self.mapping.name}"
+        )
+        while True:
+            version, _old = yield from self.read()
+            locked = yield from self.try_lock(version)
+            if not locked:
+                yield from pause.pause()
+                continue
+            yield from self.publish(version + 1, body)
+            return version + 2

@@ -26,6 +26,12 @@ rebuild its per-server QP table if the descriptor version advanced
 sub-operations.  An error reaches the application only once
 ``data_retry_limit`` attempts are exhausted — a single server crash
 under ``replication >= 2`` is invisible.
+
+**Atomics are the exception**: reads and writes are idempotent, but a
+replayed FAA/CAS whose first attempt *did* apply mutates the word
+twice.  ``faa``/``cas`` therefore refuse to replay after a completion
+error unless called with ``idempotent=True``; see
+:meth:`Mapping.faa`.
 """
 
 from __future__ import annotations
@@ -221,15 +227,35 @@ class Mapping:
             Opcode.RDMA_WRITE, local_mr, local_addr, offset, length, wire_scale
         )
 
-    def faa(self, offset: int, delta: int):
-        """Remote fetch-and-add on an 8-byte counter (generator)."""
-        wc = yield from self._atomic(Opcode.ATOMIC_FAA, offset, compare=delta)
+    def faa(self, offset: int, delta: int, idempotent: bool = False):
+        """Remote fetch-and-add on an 8-byte counter (generator).
+
+        Atomics are **not retryable by default**: a completion error on
+        an op that reached the NIC raises ``RegionUnavailableError``
+        immediately, because the remote side may already have applied
+        it — a blind replay could add *delta* twice.  Failures before
+        anything hit the wire (dead QP, post rejection) still remap and
+        retry transparently; they cannot have side effects.  Pass
+        ``idempotent=True`` only when a double-applied op is harmless
+        (monotonic flags, advisory stats) to opt back into full
+        remap-and-replay.
+        """
+        wc = yield from self._atomic(
+            Opcode.ATOMIC_FAA, offset, compare=delta, idempotent=idempotent
+        )
         return wc.atomic_result
 
-    def cas(self, offset: int, expected: int, desired: int):
-        """Remote compare-and-swap (generator); returns the old value."""
+    def cas(self, offset: int, expected: int, desired: int,
+            idempotent: bool = False):
+        """Remote compare-and-swap (generator); returns the old value.
+
+        Same retry semantics as :meth:`faa`: completion errors are not
+        replayed unless ``idempotent=True`` (a replayed CAS that won
+        the first time finds ``desired`` in place and reports a loss).
+        """
         wc = yield from self._atomic(
-            Opcode.ATOMIC_CAS, offset, compare=expected, swap=desired
+            Opcode.ATOMIC_CAS, offset, compare=expected, swap=desired,
+            idempotent=idempotent,
         )
         return wc.atomic_result
 
@@ -243,7 +269,7 @@ class Mapping:
         """Descriptor for this IO (generator) — fresh under the
         resolve-per-io ablation, cached otherwise."""
         if self.client.config.resolve_per_io:
-            desc = yield from self.client._master.call("lookup", self.name)
+            desc = yield from self.client._master_call("lookup", self.name)
             return desc
         return self.desc
 
@@ -371,7 +397,15 @@ class Mapping:
         self.desc = desc
         return self.desc
 
-    def _atomic(self, opcode, offset, compare=0, swap=0):
+    def _atomic(self, opcode, offset, compare=0, swap=0, idempotent=False):
+        """One remote atomic (generator); see :meth:`faa` for retry rules.
+
+        A failed attempt is *replayable* only if the request provably
+        never reached the wire (no work completion: the QP was dead or
+        the post was rejected locally).  Once a completion error comes
+        back, the NIC-side outcome is unknowable — unless the caller
+        declared the op idempotent, the error surfaces immediately.
+        """
         self._check_usable()
         if offset % 8 != 0:
             raise BoundsError(f"atomic offset {offset} not 8-byte aligned")
@@ -413,6 +447,15 @@ class Mapping:
             if op.failure is None:
                 self.client.ops_completed += 1
                 return op.last_wc
+            # ``last_wc`` is only set when a completion (good or bad)
+            # came back — i.e. the request made it onto the wire
+            if op.last_wc is not None and not idempotent:
+                raise RegionUnavailableError(
+                    f"atomic on {self.name!r} failed after reaching the "
+                    f"NIC ({op.failure}); the remote side may have "
+                    "applied it, so it is not replayed — pass "
+                    "idempotent=True to opt into replay"
+                ) from op.failure
             attempts += 1
             if attempts > self.client.config.data_retry_limit:
                 raise RegionUnavailableError(
@@ -452,6 +495,10 @@ class RStoreClient:
         self.ops_completed = 0
         self.bytes_moved = 0
         self.retries = 0
+        #: control-path RPCs issued to the master (alloc, lookup,
+        #: barrier, ...) — the separation thesis says steady-state data
+        #: paths keep this flat; tests assert on it
+        self.master_calls = 0
 
     def start(self):
         """Connect to the cluster (generator)."""
@@ -471,6 +518,7 @@ class RStoreClient:
     # -- control path ----------------------------------------------------------
 
     def _master_call(self, method: str, *args):
+        self.master_calls += 1
         try:
             result = yield from self._master.call(method, *args)
         except RpcRemoteError as exc:

@@ -15,8 +15,20 @@ region            size                       contents
 Workers fetch their topology slice once at setup, then per superstep:
 gather the full state vector with one-sided reads (striped over every
 memory server — the aggregate-bandwidth path), apply the vertex program
-(explicit CPU cost), scatter their slice, and allreduce the change
-count through the master.
+(explicit CPU cost), scatter their slice, and detect convergence
+entirely on one-sided atomics — a :class:`~repro.coord.SenseBarrier`
+plus a cumulative :class:`~repro.coord.AtomicCounter` replace the old
+per-superstep allreduce RPC through the master.  After setup the master
+is never contacted again; ``stats.steady_state_master_calls`` (asserted
+zero in tests) proves it.
+
+The convergence protocol per superstep: every worker FAAs its change
+count into the shared counter, waits at the barrier (all contributions
+are in), reads the cumulative total once and differences it against the
+previous round's total, then waits at the barrier again so nobody's
+next-round FAA races a straggler's read.  The counter is never reset —
+monotonic accumulation plus local differencing sidesteps the
+who-zeroes-it race entirely.
 """
 
 from __future__ import annotations
@@ -28,6 +40,7 @@ from typing import Optional
 import numpy as np
 
 from repro.cluster.builder import Cluster
+from repro.coord import AtomicCounter, SenseBarrier
 from repro.graph.loader import Graph, partition_by_edges
 from repro.simnet.config import MiB
 
@@ -174,9 +187,19 @@ class RStoreGraphEngine:
         sim = self.cluster.sim
         results: dict[int, np.ndarray] = {}
         stats = SimpleNamespace(values=None, iterations=0, elapsed=0.0,
-                                setup_elapsed=0.0)
+                                setup_elapsed=0.0,
+                                steady_state_master_calls=0)
 
         t_setup = sim.now
+        # Coordination regions (control path, once): the superstep
+        # barrier and the cumulative change counter every worker FAAs
+        # into.  After this point convergence detection never touches
+        # the master.
+        coordinator = self.cluster.client(self.worker_hosts[0])
+        yield from SenseBarrier.create(
+            coordinator, f"{self.tag}.bsp", parties=self.num_workers
+        )
+        yield from AtomicCounter.create(coordinator, f"{self.tag}.changed")
         contexts: dict[int, SimpleNamespace] = {}
         setup = [
             sim.process(
@@ -187,6 +210,7 @@ class RStoreGraphEngine:
         ]
         yield sim.all_of(setup)
         stats.setup_elapsed = sim.now - t_setup
+        calls_after_setup = self._master_calls()
 
         t0 = sim.now
         procs = [
@@ -198,9 +222,17 @@ class RStoreGraphEngine:
         ]
         yield sim.all_of(procs)
         stats.elapsed = sim.now - t0
+        stats.steady_state_master_calls = (
+            self._master_calls() - calls_after_setup
+        )
         full = np.concatenate([results[r] for r in range(self.num_workers)])
         stats.values = full
         return stats
+
+    def _master_calls(self) -> int:
+        """Total control-path RPCs issued by the worker clients."""
+        clients = {self.cluster.client(h) for h in self.worker_hosts}
+        return sum(client.master_calls for client in clients)
 
     def _worker_setup(self, rank: int, program, contexts: dict):
         """Control path: fetch topology, map state, register buffers."""
@@ -213,6 +245,10 @@ class RStoreGraphEngine:
         part = yield from self._fetch_partition(client, program, lo, hi)
         state0 = yield from client.map(f"{tag}.state0")
         state1 = yield from client.map(f"{tag}.state1")
+        barrier = yield from SenseBarrier.open(
+            client, f"{tag}.bsp", parties=self.num_workers
+        )
+        counter = yield from AtomicCounter.open(client, f"{tag}.changed")
         gather_mr = yield from client.alloc_local(max(n * 8, 8))
         scatter_mr = yield from client.alloc_local(max((hi - lo) * 8, 8))
         contexts[rank] = SimpleNamespace(
@@ -223,16 +259,16 @@ class RStoreGraphEngine:
             hi=hi,
             part=part,
             state=[state0, state1],
+            barrier=barrier,
+            counter=counter,
             gather_mr=gather_mr,
             scatter_mr=scatter_mr,
         )
 
     def _worker_loop(self, ctx, program, results: dict, stats):
-        tag = self.tag
-        client, cpu = ctx.client, ctx.cpu
+        cpu = ctx.cpu
         lo, hi, part = ctx.lo, ctx.hi, ctx.part
         n = self.graph.num_vertices
-        workers = self.num_workers
 
         def scatter(mapping, values):
             blob = values.tobytes()
@@ -244,10 +280,12 @@ class RStoreGraphEngine:
 
         local = program.initial(part, lo, hi)
         yield from scatter(ctx.state[0], local)
-        yield from client.barrier(f"{tag}.start", workers)
+        # everyone's initial scatter is visible before the first gather
+        yield from ctx.barrier.wait()
 
         cur = 0
         iteration = 0
+        seen_total = 0
         while True:
             yield from ctx.state[cur].read_into(
                 ctx.gather_mr, ctx.gather_mr.addr, 0, n * 8
@@ -260,12 +298,19 @@ class RStoreGraphEngine:
             )
             local, changed = program.apply(part, x, lo, hi)
             yield from scatter(ctx.state[1 - cur], local)
-            total = yield from client.allreduce(
-                f"{tag}.round{iteration}", workers, changed
-            )
+            # convergence on one-sided atomics: FAA the change count in,
+            # barrier (all contributions landed), read the cumulative
+            # total, difference it against last round's
+            yield from ctx.counter.add(int(changed))
+            yield from ctx.barrier.wait()
+            cumulative = yield from ctx.counter.read()
+            total = cumulative - seen_total
+            seen_total = cumulative
             iteration += 1
             if program.done(iteration, total):
                 break
+            # keep next round's FAAs from racing a straggler's read
+            yield from ctx.barrier.wait()
             cur = 1 - cur
 
         results[ctx.rank] = local

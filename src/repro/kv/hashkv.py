@@ -4,25 +4,21 @@ Slot layout (all fields 8-byte aligned)::
 
     [ version 8B ][ key_len 8B ][ key ... ][ val_len 8B ][ value ... ]
 
-``version`` semantics:
-
-* ``0``     — slot never used
-* even > 0  — stable; bumped by 2 on every successful mutation
-* odd       — locked by a writer (CAS'd from the even value)
-
-Readers never lock: a ``get`` reads the whole slot in one one-sided
-read, then validates by re-reading the version word; if it changed (or
-was odd), the read raced a writer and retries — the classic optimistic
-protocol RDMA stores use.  Writers serialize per slot through a remote
-CAS.  Deletes leave a tombstone (``key_len`` of ``2**63-1``) so linear
-probing keeps finding later entries.
+Each slot is one :class:`~repro.coord.SeqLock` record: the version
+word carries the writer lock (odd = locked) and the optimistic-read
+validation (readers snapshot the slot, then re-check the word).  The
+protocol used to be inlined here; it now lives in ``repro.coord`` and
+this table is its heaviest user — one SeqLock view per slot, writer
+contention paced by the shared :class:`~repro.coord.Backoff`
+discipline.  Deletes leave a tombstone (``key_len`` of ``2**63-1``) so
+linear probing keeps finding later entries.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Optional
 
+from repro.coord import Backoff, CoordError, SeqLock
 from repro.core.client import Mapping, RStoreClient
 from repro.core.errors import RStoreError
 
@@ -62,6 +58,7 @@ class RKVStore:
         self.key_size = key_size
         self.value_size = value_size
         self.slot_size = self._slot_size(key_size, value_size)
+        self._backoff = Backoff.for_client(client, f"kv-{name}")
         # -- client-local metrics
         self.read_retries = 0
         self.lock_retries = 0
@@ -119,18 +116,26 @@ class RKVStore:
     def _slot_offset(self, index: int) -> int:
         return (index % self.slots) * self.slot_size
 
-    def _parse(self, blob: bytes):
-        version = int.from_bytes(blob[0:8], "little")
-        key_len = int.from_bytes(blob[8:16], "little")
-        key_area = 8 + 8
+    def _slot_lock(self, index: int) -> SeqLock:
+        """The SeqLock view over one slot (cheap, created per use)."""
+        return SeqLock(
+            self.mapping,
+            self._slot_offset(index),
+            self.slot_size - _WORD,
+            max_read_retries=_READ_RETRIES,
+        )
+
+    def _parse_body(self, body: bytes):
+        """Split a slot body (everything after the version word)."""
+        key_len = int.from_bytes(body[0:8], "little")
         pad_key = -(-self.key_size // _WORD) * _WORD
-        key = blob[key_area : key_area + key_len] if key_len not in (
+        key = body[8 : 8 + key_len] if key_len not in (
             0, _TOMBSTONE
         ) else b""
-        val_off = key_area + pad_key
-        val_len = int.from_bytes(blob[val_off : val_off + 8], "little")
-        value = blob[val_off + 8 : val_off + 8 + val_len]
-        return version, key_len, key, value
+        val_off = 8 + pad_key
+        val_len = int.from_bytes(body[val_off : val_off + 8], "little")
+        value = body[val_off + 8 : val_off + 8 + val_len]
+        return key_len, key, value
 
     def _encode_body(self, key: bytes, value: bytes, tombstone=False) -> bytes:
         pad_key = -(-self.key_size // _WORD) * _WORD
@@ -144,38 +149,17 @@ class RKVStore:
 
     def _read_slot(self, index: int):
         """Optimistically read one consistent slot snapshot (generator)."""
-        offset = self._slot_offset(index)
-        for _attempt in range(_READ_RETRIES):
-            blob = yield from self.mapping.read(offset, self.slot_size)
-            version, key_len, key, value = self._parse(blob)
-            if version % 2 == 1:
-                self.read_retries += 1
-                continue
-            check = yield from self.mapping.read(offset, _WORD)
-            if int.from_bytes(check, "little") == version:
-                return version, key_len, key, value
-            self.read_retries += 1
-        raise KvError(f"slot {index} kept changing under {_READ_RETRIES} reads")
-
-    def _lock_slot(self, index: int, expected_version: int):
-        """Try to CAS-lock a slot (generator); returns success."""
-        offset = self._slot_offset(index)
-        old = yield from self.mapping.cas(
-            offset, expected_version, expected_version + 1
-        )
-        if old != expected_version:
-            self.lock_retries += 1
-            return False
-        return True
-
-    def _unlock_slot(self, index: int, locked_version: int):
-        """Publish the new contents: version -> next even (generator)."""
-        assert locked_version % 2 == 1, "unlocking a slot we never locked"
-        offset = self._slot_offset(index)
-        new_version = locked_version + 1
-        yield from self.mapping.write(
-            offset, new_version.to_bytes(8, "little")
-        )
+        lock = self._slot_lock(index)
+        try:
+            version, body = yield from lock.read()
+        except CoordError as exc:
+            raise KvError(
+                f"slot {index} kept changing under {_READ_RETRIES} reads"
+            ) from exc
+        finally:
+            self.read_retries += lock.read_retries
+        key_len, key, value = self._parse_body(body)
+        return version, key_len, key, value
 
     # -- the API -------------------------------------------------------------------
 
@@ -188,6 +172,7 @@ class RKVStore:
                 f"{self.value_size}"
             )
         base = _hash64(key)
+        self._backoff.reset()
         while True:
             target = None
             for probe in range(_PROBE_LIMIT):
@@ -201,26 +186,28 @@ class RKVStore:
                     f"no slot for key within {_PROBE_LIMIT} probes"
                 )
             index, version = target
-            locked = yield from self._lock_slot(index, version)
+            lock = self._slot_lock(index)
+            locked = yield from lock.try_lock(version)
             if not locked:
-                continue  # lost the race; re-probe from scratch
+                # lost the race; pause, then re-probe from scratch
+                self.lock_retries += 1
+                yield from self._backoff.pause()
+                continue
             # guard against a racing writer having claimed the slot for
             # a different key between our read and our lock
-            offset = self._slot_offset(index)
-            blob = yield from self.mapping.read(offset, self.slot_size)
-            _v, cur_len, cur_key, _val = self._parse(blob)
+            body = yield from self.mapping.read(
+                self._slot_offset(index) + _WORD, self.slot_size - _WORD
+            )
+            cur_len, cur_key, _val = self._parse_body(body)
             if cur_len not in (0, _TOMBSTONE) and cur_key != key:
                 # a racing writer claimed this slot for another key
-                # between our probe and our lock: restore the original
-                # version (contents untouched) and re-probe
-                yield from self.mapping.write(
-                    offset, version.to_bytes(8, "little")
-                )
+                # between our probe and our lock: back out (contents
+                # untouched) and re-probe
+                yield from lock.abort(version)
                 continue
-            yield from self.mapping.write(
-                offset + _WORD, self._encode_body(key, value)
+            yield from lock.publish(
+                version + 1, self._encode_body(key, value)
             )
-            yield from self._unlock_slot(index, version + 1)
             return
 
     def get(self, key: bytes):
@@ -242,6 +229,7 @@ class RKVStore:
         """Remove (generator); returns whether the key existed."""
         self._check_key(key)
         base = _hash64(key)
+        self._backoff.reset()
         while True:
             found = None
             for probe in range(_PROBE_LIMIT):
@@ -255,14 +243,15 @@ class RKVStore:
             if found is None:
                 return False
             index, version = found
-            locked = yield from self._lock_slot(index, version)
+            lock = self._slot_lock(index)
+            locked = yield from lock.try_lock(version)
             if not locked:
+                self.lock_retries += 1
+                yield from self._backoff.pause()
                 continue
-            offset = self._slot_offset(index)
-            yield from self.mapping.write(
-                offset + _WORD, self._encode_body(b"", b"", tombstone=True)
+            yield from lock.publish(
+                version + 1, self._encode_body(b"", b"", tombstone=True)
             )
-            yield from self._unlock_slot(index, version + 1)
             return True
 
     def contains(self, key: bytes):

@@ -46,7 +46,13 @@ class RNic:
         self.alive = True
         #: optional fault-injection hook: ``hook(host_id, wr) -> str``
         #: returning a non-empty detail fails the WR with RETRY_EXC_ERR
+        #: *before* it leaves this NIC (the remote side never sees it)
         self.fault_hook: Optional[Callable[[int, SendWR], str]] = None
+        #: like ``fault_hook`` but consulted when a *successful*
+        #: completion is about to be raised: the remote side already
+        #: applied the op, only the acknowledgement is lost.  This is
+        #: the ambiguity that makes atomics non-replayable.
+        self.ack_fault_hook: Optional[Callable[[int, SendWR], str]] = None
         self._engine_busy_until = 0.0
         #: rkey -> MemoryRegion, the NIC's translation/permission table
         self.mr_by_rkey: dict[int, MemoryRegion] = {}
@@ -215,6 +221,14 @@ class RNic:
         atomic_result: Optional[int] = None,
         detail: str = "",
     ) -> None:
+        if status is WcStatus.SUCCESS and self.ack_fault_hook is not None:
+            injected = self.ack_fault_hook(self.host.host_id, wr)
+            if injected:
+                # the op ran remotely; only its acknowledgement is lost
+                status = WcStatus.RETRY_EXC_ERR
+                byte_len = 0
+                atomic_result = None
+                detail = injected
         self.ops_completed += 1
         qp._complete_send(
             wr,

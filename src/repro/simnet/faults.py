@@ -12,7 +12,10 @@ stream, so a fault scenario replays bit-for-bit from its seed:
   ``RStoreError`` without running its handler (callers must retry);
 * **wire faults** — a one-sided data operation launched by a chosen
   host completes with ``RETRY_EXC_ERR``, erroring its QP exactly like a
-  peer dying mid-flight (clients must remap and replay).
+  peer dying mid-flight (clients must remap and replay).  By default
+  the op dies *before* launch; ``where="ack"`` instead applies it
+  remotely and loses only the acknowledgement — the ambiguous case
+  that forbids replaying atomics.
 
 Wiring happens in :meth:`attach`, which the cluster builder calls right
 after boot when given ``faults=``; all windows are in seconds **after
@@ -59,6 +62,9 @@ class _Window:
     #: rpc/wire windows: which method (None = all) and how likely
     method: Optional[str] = None
     probability: float = 1.0
+    #: wire windows: "launch" fails before the op leaves the NIC;
+    #: "ack" lets the remote side apply it, then loses the completion
+    where: str = "launch"
     #: cap on injections from this window (None = unlimited)
     times: Optional[int] = None
     fired: int = 0
@@ -121,12 +127,23 @@ class FaultInjector:
 
     def fail_wire(self, host_id: int, start: float, duration: float,
                   probability: float = 1.0,
-                  times: Optional[int] = None) -> "FaultInjector":
+                  times: Optional[int] = None,
+                  where: str = "launch") -> "FaultInjector":
         """Fail one-sided operations *launched by host_id* in the window
-        with a completion error (the QP goes to ERROR, like real RC)."""
+        with a completion error (the QP goes to ERROR, like real RC).
+
+        ``where="launch"`` (default) drops the op before it reaches the
+        remote NIC — nothing is applied.  ``where="ack"`` lets the
+        remote side execute the op and loses only the acknowledgement:
+        the launcher sees the same completion error, but a one-sided
+        WRITE has landed and an atomic *has* mutated the remote word —
+        the case that makes blind atomic replay double-apply.
+        """
+        if where not in ("launch", "ack"):
+            raise ValueError(f"unknown wire fault point {where!r}")
         self._wire.setdefault(host_id, []).append(
             _Window(start, start + duration, probability=probability,
-                    times=times)
+                    times=times, where=where)
         )
         return self
 
@@ -145,8 +162,11 @@ class FaultInjector:
             master_host = master.nic.host.host_id
             if master_host in self._rpc:
                 master._rpc.fault_hook = self._rpc_hook(master_host)
-        for host_id in self._wire:
-            cluster.nics[host_id].fault_hook = self._wire_hook(host_id)
+        for host_id, windows in self._wire.items():
+            if any(w.where == "launch" for w in windows):
+                cluster.nics[host_id].fault_hook = self._wire_hook(host_id)
+            if any(w.where == "ack" for w in windows):
+                cluster.nics[host_id].ack_fault_hook = self._ack_hook(host_id)
         for at, host_id in sorted(self._crashes):
             cluster.sim.process(
                 self._crash_proc(at, host_id), name=f"fault-crash-{host_id}"
@@ -196,23 +216,35 @@ class FaultInjector:
 
     def _wire_hook(self, host_id: int):
         def hook(_launch_host: int, wr) -> str:
-            if wr.opcode not in _DATA_OPCODES:
-                return ""
-            now = self._now()
-            for window in self._wire.get(host_id, ()):
-                if not window.open_at(now):
-                    continue
-                if self._rng.random() >= window.probability:
-                    continue
-                window.fired += 1
-                self.injected["wire"] += 1
-                self._note(
-                    f"failed {wr.opcode.name} launched by host {host_id}"
-                )
-                return f"injected wire fault on host {host_id}"
-            return ""
+            return self._wire_fault(host_id, wr, "launch")
 
         return hook
+
+    def _ack_hook(self, host_id: int):
+        def hook(_launch_host: int, wr) -> str:
+            return self._wire_fault(host_id, wr, "ack")
+
+        return hook
+
+    def _wire_fault(self, host_id: int, wr, where: str) -> str:
+        if wr.opcode not in _DATA_OPCODES:
+            return ""
+        now = self._now()
+        for window in self._wire.get(host_id, ()):
+            if window.where != where:
+                continue
+            if not window.open_at(now):
+                continue
+            if self._rng.random() >= window.probability:
+                continue
+            window.fired += 1
+            self.injected["wire"] += 1
+            self._note(
+                f"failed {wr.opcode.name} launched by host {host_id} "
+                f"({'before launch' if where == 'launch' else 'ack lost'})"
+            )
+            return f"injected wire fault on host {host_id} ({where})"
+        return ""
 
     # -- internals -----------------------------------------------------------
 

@@ -10,6 +10,10 @@ Pipeline (all regions live in RStore):
    destination's shuffle region with a remote **fetch-and-add** on its
    tail counter, then RDMA-writes the records.  No destination CPU, no
    receive handling, no flow-control messages: the paper's API pitch.
+
+Phase transitions synchronize on a :class:`~repro.coord.SenseBarrier`
+(one-sided FAA + flag polling), so after setup the master only sees the
+sampling exchange — inter-phase coordination rides the data path.
 5. **Sort** — each worker sorts its shuffle region locally (full
    10-byte lexicographic order) with an explicit n·log n CPU charge.
 6. **Write** — sorted runs land in per-worker output regions placed on
@@ -30,6 +34,7 @@ from typing import Optional
 import numpy as np
 
 from repro.cluster.builder import Cluster
+from repro.coord import SenseBarrier
 from repro.simnet.config import MiB
 from repro.workloads.kv import KEY_BYTES, RECORD_BYTES, generate_records
 
@@ -125,6 +130,10 @@ class RSort:
         yield from coordinator.alloc(
             f"{tag}.input", slice_bytes * self.num_workers
         )
+        # the inter-phase barrier every worker opens at setup
+        yield from SenseBarrier.create(
+            coordinator, f"{tag}.phase", parties=self.num_workers
+        )
 
         def generate(rank):
             client = self.cluster.client(self.worker_hosts[rank])
@@ -184,13 +193,16 @@ class RSort:
         slice_bytes = self.records_per_worker * RECORD_BYTES
         logical = self.records_per_worker * self.scale
 
+        barrier = yield from SenseBarrier.open(
+            client, f"{tag}.phase", parties=workers
+        )
         # Per-worker shuffle region, placed on the worker's own server.
         expected = slice_bytes  # balanced split expectation
         shuffle_bytes = _HEADER + int(expected * self.shuffle_slack)
         yield from client.alloc(
             f"{tag}.shuffle.{rank}", shuffle_bytes, preferred_host=host_id
         )
-        yield from client.barrier(f"{tag}.alloc", workers)
+        yield from barrier.wait()
 
         # 1. read the input slice
         input_map = yield from client.map(f"{tag}.input")
@@ -252,7 +264,7 @@ class RSort:
                 out_mr, out_mr.addr, _HEADER + offset, len(blob),
                 wire_scale=self.scale,
             )
-        yield from client.barrier(f"{tag}.shuffled", workers)
+        yield from barrier.wait()  # all shuffle writes have landed
 
         # 5. local sort of the shuffle region
         own = shuffle_maps[rank]
@@ -285,7 +297,7 @@ class RSort:
                 final_mr, final_mr.addr, 0, len(blob), wire_scale=self.scale
             )
         counts[rank] = len(my_records)
-        yield from client.barrier(f"{tag}.done", workers)
+        yield from barrier.wait()  # every sorted run is in the store
 
     # -- validation helpers ----------------------------------------------------
 

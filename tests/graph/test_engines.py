@@ -101,6 +101,16 @@ def test_rstore_engine_outperforms_baseline(cluster, graph):
     assert r_stats.elapsed < m_stats.elapsed
 
 
+def test_rstore_engine_steady_state_is_rpc_free(cluster, graph):
+    """After setup, supersteps coordinate purely on one-sided atomics
+    (SenseBarrier + cumulative AtomicCounter): the master serves zero
+    RPCs during the whole iteration phase."""
+    engine = RStoreGraphEngine(cluster, graph, tag="rpc0")
+    stats = cluster.run_app(engine.run(PageRankProgram(iterations=4)))
+    assert stats.iterations == 4
+    assert stats.steady_state_master_calls == 0
+
+
 def test_engine_subset_of_hosts(cluster, graph):
     engine = RStoreGraphEngine(cluster, graph, worker_hosts=[1, 2], tag="sub")
     stats = cluster.run_app(engine.run(PageRankProgram(iterations=3)))
