@@ -122,9 +122,22 @@ class DoorbellQueue:
             yield from self._poll.pause()
         slot_off = self._slot_off(seq)
         body = len(payload).to_bytes(8, "little") + payload
+        # the body write completes before anything else is issued: a
+        # publish replayed after a fault must never expose a slot whose
+        # seq word is fresh but whose body is stale
         yield from self.mapping.write(slot_off + _WORD, body)
-        yield from write_word(self.mapping, slot_off, seq + 1)
-        yield from self.mapping.faa(_BELL, 1)
+        # publish + doorbell ride one batched flush.  Seeing the bell
+        # before the seq word is safe — the consumer re-polls the slot —
+        # so the two need no ordering round-trip between them; the bell
+        # FAA stays non-idempotent (a double bump would over-count).
+        batch = self.client.batch()
+        publish = yield from batch.write(
+            self.mapping, slot_off, (seq + 1).to_bytes(8, "little")
+        )
+        bell = batch.faa(self.mapping, _BELL, 1)
+        yield from batch.flush()
+        yield from publish.wait()
+        yield from bell.wait()
         self.sent += 1
         return seq
 

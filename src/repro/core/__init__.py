@@ -15,7 +15,7 @@ liveness, synchronization), :class:`~repro.core.server.MemoryServer`
 (the application-facing library).
 """
 
-from repro.core.client import Mapping, RStoreClient
+from repro.core.client import IoBatch, Mapping, OpFuture, RStoreClient
 from repro.core.config import RStoreConfig
 from repro.core.errors import (
     AllocationError,
@@ -35,10 +35,12 @@ from repro.core.server import MemoryServer
 __all__ = [
     "AllocationError",
     "BoundsError",
+    "IoBatch",
     "Mapping",
     "Master",
     "MemoryServer",
     "NotMappedError",
+    "OpFuture",
     "OutOfMemoryError",
     "RStoreClient",
     "RStoreConfig",

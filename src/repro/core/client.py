@@ -11,6 +11,20 @@ Data path (one-sided, no server CPU, no metadata lookups)::
     data = yield from mapping.read(0, 4096)
     old = yield from mapping.faa(8, 1)
 
+Asynchronous data path — every op can also be issued without blocking.
+``*_async`` methods return an :class:`OpFuture` immediately; the caller
+overlaps work and collects the result with ``yield from fut.wait()``.
+:class:`IoBatch` goes further: it collects many ops (across mappings),
+coalesces adjacent same-stripe pieces into single work requests, posts
+each QP's share with **one doorbell** (selective signaling: only the
+last WR of a doorbell batch is signaled), and resolves every future
+through the client's single completion dispatcher::
+
+    batch = client.batch()
+    futs = [batch.read(mapping, off, 64) for off in offsets]   # queue
+    yield from batch.flush()                                   # submit
+    results = yield from batch.wait_all()                      # collect
+
 ``map`` resolves everything an IO will ever need — per-stripe server,
 remote address, rkey, and a connected QP per server (QPs are cached
 client-wide, so mapping a second region to the same servers is nearly
@@ -18,20 +32,29 @@ free).  After that every ``read``/``write`` translates to one-sided
 RDMA with pure local arithmetic: RDMA's separation philosophy extended
 to the cluster.
 
+Completion ownership: completions belong to the **client dispatcher**,
+never to the op that submitted them.  The dispatcher routes each work
+completion to its doorbell group and from there to the futures whose
+pieces it carries; the blocking ``read``/``write``/``faa`` are thin
+wrappers (submit + wait) over the same machinery.
+
 Failures on the data path are *retryable*: a completion error (server
-death, injected NIC fault) makes the mapping re-``lookup`` the region
-at the master with capped exponential backoff + deterministic jitter,
-rebuild its per-server QP table if the descriptor version advanced
-(replica promotion, background repair), and replay only the failed
-sub-operations.  An error reaches the application only once
-``data_retry_limit`` attempts are exhausted — a single server crash
-under ``replication >= 2`` is invisible.
+death, injected NIC fault) hands the future to a background retry
+worker that re-``lookup``\\ s the region at the master with capped
+exponential backoff + deterministic jitter, rebuilds the per-server QP
+table if the descriptor version advanced (replica promotion, background
+repair), and replays only the failed sub-operations — unrelated
+in-flight batches are never disturbed.  An error reaches the
+application only once ``data_retry_limit`` attempts are exhausted — a
+single server crash under ``replication >= 2`` is invisible.
 
 **Atomics are the exception**: reads and writes are idempotent, but a
 replayed FAA/CAS whose first attempt *did* apply mutates the word
 twice.  ``faa``/``cas`` therefore refuse to replay after a completion
 error unless called with ``idempotent=True``; see
-:meth:`Mapping.faa`.
+:meth:`Mapping.faa`.  An atomic flushed behind another WR's error in
+its doorbell batch is equally ambiguous (it may still execute
+remotely), so it follows the same rule.
 """
 
 from __future__ import annotations
@@ -59,7 +82,7 @@ from repro.rpc.endpoint import RpcClient, RpcRemoteError
 from repro.simnet.kernel import Simulator
 from repro.simnet.rand import derive_rng
 
-__all__ = ["RStoreClient", "Mapping"]
+__all__ = ["RStoreClient", "Mapping", "IoBatch", "OpFuture"]
 
 # Remote RStore exceptions re-raise locally as their real types.
 import repro.core.errors as _errors
@@ -69,6 +92,8 @@ _ERROR_TYPES = {
     for name in _errors.__all__
 }
 
+_ATOMIC_OPS = (Opcode.ATOMIC_FAA, Opcode.ATOMIC_CAS)
+
 
 def _translated(exc: RpcRemoteError) -> Exception:
     cls = _ERROR_TYPES.get(exc.error_type)
@@ -77,72 +102,237 @@ def _translated(exc: RpcRemoteError) -> Exception:
     return exc
 
 
-class _DataOp:
-    """Tracks one *round* of sub-requests fanned out for a logical op.
+class OpFuture:
+    """Handle for one in-flight data-path operation.
+
+    Created by the ``*_async`` methods and :class:`IoBatch`; resolves
+    (or fails) when the client dispatcher has retired every sub-request
+    of the op — including any replay rounds the retry worker ran on its
+    behalf.  ``yield from fut.wait()`` parks until then and returns the
+    op's value (bytes for reads, byte count for writes, the prior word
+    for atomics) or raises the op's error.
 
     A piece is ``(stripe_index, stripe_offset, take, local_cursor)`` —
     enough to replay the sub-operation against a *newer* descriptor
-    (stripe geometry is immutable; only replica sets change).  The
-    round's event always succeeds once every sub-request retires;
-    callers inspect :attr:`failure` / :attr:`failed` to decide whether
-    to remap and replay.
+    (stripe geometry is immutable; only replica sets change).
     """
 
-    __slots__ = ("event", "remaining", "failure", "failed", "last_wc")
+    __slots__ = (
+        "client", "mapping", "opcode", "kind", "offset", "length",
+        "wire_scale", "fan_out", "idempotent", "compare", "swap",
+        "local_mr", "done", "value", "error", "resolved_at",
+        "resolve_index", "_event", "_chunk", "_remaining", "_failure",
+        "_failed", "_last_wc", "_flush_ambiguous", "_attempts",
+    )
 
-    def __init__(self, sim: Simulator, total: int):
-        self.event = sim.event()
-        self.remaining = total
-        self.failure: Optional[Exception] = None
+    def __init__(self, client: "RStoreClient", mapping: "Mapping",
+                 opcode: Opcode, kind: str, offset: int, length: int,
+                 wire_scale: int = 1, idempotent: bool = False,
+                 compare: int = 0, swap: int = 0):
+        self.client = client
+        self.mapping = mapping
+        self.opcode = opcode
+        #: "read", "write", "read_into", "write_from", "faa" or "cas"
+        self.kind = kind
+        self.offset = offset
+        self.length = length
+        self.wire_scale = wire_scale
+        #: writes land on every replica; reads hit only the primary
+        self.fan_out = opcode is Opcode.RDMA_WRITE
+        self.idempotent = idempotent
+        self.compare = compare
+        self.swap = swap
+        self.local_mr: Optional[MemoryRegion] = None
+        self.done = False
+        self.value = None
+        self.error: Optional[Exception] = None
+        #: simulated time the future resolved (diagnostics/tests)
+        self.resolved_at: Optional[float] = None
+        #: client-wide resolution sequence number — futures resolving at
+        #: the same instant still have a total, deterministic order
+        self.resolve_index: Optional[int] = None
+        self._event = None
+        self._chunk = None
+        self._remaining = 0
+        self._failure: Optional[Exception] = None
         #: pieces whose sub-request failed (candidates for replay)
-        self.failed: list[tuple] = []
-        self.last_wc = None
+        self._failed: list[tuple] = []
+        self._last_wc = None
+        self._flush_ambiguous = False
+        self._attempts = 0
 
-    def sub_done(self, piece, wc) -> None:
-        self.last_wc = wc
+    @property
+    def is_atomic(self) -> bool:
+        return self.opcode in _ATOMIC_OPS
+
+    def wait(self):
+        """Park until the op resolves (generator); return its value."""
+        if not self.done:
+            if self._event is None:
+                self._event = self.client.sim.event()
+            yield self._event
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+    # -- resolution (dispatcher / retry-worker side) ------------------------
+
+    def _take_value(self):
+        if self.is_atomic:
+            return self._last_wc.atomic_result
+        if self.kind == "read":
+            return self._chunk.read_bytes(self.length)
+        if self.kind == "write":
+            return self.length
+        return None
+
+    def _resolve(self, value) -> None:
+        if self.done:
+            return
+        self.value = value
+        self._finish()
+
+    def _fail(self, exc: Exception) -> None:
+        if self.done:
+            return
+        self.error = exc
+        self._finish()
+
+    def _finish(self) -> None:
+        self.done = True
+        self.resolved_at = self.client.sim.now
+        self.resolve_index = self.client._next_resolve_index()
+        self.mapping._inflight.discard(self)
+        if self._chunk is not None:
+            self._chunk.release()
+            self._chunk = None
+        if self._event is not None and not self._event.triggered:
+            self._event.succeed()
+
+    # -- sub-request retirement ---------------------------------------------
+
+    def _sub_ok(self, piece) -> None:
+        """An unsignaled WR proven successful by its doorbell group."""
+        if self.done:
+            return
+        self._retire()
+
+    def _sub_done(self, piece, wc) -> None:
+        if self.done:
+            return
+        self._last_wc = wc
         if not wc.ok:
-            if self.failure is None:
-                self.failure = RegionUnavailableError(
+            if self._failure is None:
+                self._failure = RegionUnavailableError(
                     f"data-path failure: {wc.status.value} {wc.detail}"
                 )
             if piece is not None:
-                self.failed.append(piece)
+                self._failed.append(piece)
         self._retire()
 
-    def sub_aborted(self, piece, exc: Exception) -> None:
-        """Retire a sub-request that could not even be posted."""
-        if self.failure is None:
-            self.failure = exc
+    def _sub_flushed(self, piece) -> None:
+        """A WR flushed behind an earlier error in its doorbell batch.
+
+        Its remote outcome is unknown (the NIC may still execute it),
+        which is why flushed atomics count as ambiguous.
+        """
+        if self.done:
+            return
+        self._flush_ambiguous = True
+        if self._failure is None:
+            self._failure = RegionUnavailableError(
+                "data-path failure: flushed behind an earlier error in "
+                "its doorbell batch"
+            )
         if piece is not None:
-            self.failed.append(piece)
+            self._failed.append(piece)
+        self._retire()
+
+    def _sub_aborted(self, piece, exc: Exception) -> None:
+        """Retire a sub-request that could not even be posted."""
+        if self.done:
+            return
+        if self._failure is None:
+            self._failure = exc
+        if piece is not None:
+            self._failed.append(piece)
         self._retire()
 
     def _retire(self) -> None:
-        self.remaining -= 1
-        if self.remaining == 0:
-            self.event.succeed()
+        self._remaining -= 1
+        if self._remaining == 0 and not self.done:
+            self.client._round_done(self)
 
 
-class _SubOp:
-    """The ``wr_id`` of one sub-request: its round plus its piece."""
+class _WrToken:
+    """The ``wr_id`` of one work request: the futures/pieces it carries.
 
-    __slots__ = ("op", "piece")
+    Coalescing merges adjacent WRs, so one token can carry sub-requests
+    of several futures; they all retire together.
+    """
 
-    def __init__(self, op: _DataOp, piece):
-        self.op = op
-        self.piece = piece
+    __slots__ = ("subs", "group", "retired")
+
+    def __init__(self, subs: list):
+        #: list of (future, piece) pairs
+        self.subs = subs
+        #: the doorbell group, set when the WR is posted in a batch
+        self.group: Optional["_Doorbell"] = None
+        self.retired = False
+
+    def abort(self, exc: Exception) -> None:
+        if self.retired:
+            return
+        self.retired = True
+        if self.group is not None:
+            self.group.unretired -= 1
+        for fut, piece in self.subs:
+            fut._sub_aborted(piece, exc)
+
+
+class _Doorbell:
+    """One doorbell batch: the unit of selective signaling.
+
+    Only the last WR (and any atomics, which need their result value)
+    is signaled.  The tail's success completion proves — via the QP's
+    in-post-order delivery — that every unsignaled WR before it
+    succeeded too; an error completion breaks the group with RC flush
+    semantics instead.
+    """
+
+    __slots__ = ("pump", "tokens", "unretired", "credited")
+
+    def __init__(self, pump: "_QpPump", tokens: list[_WrToken]):
+        self.pump = pump
+        self.tokens = tokens
+        self.unretired = len(tokens)
+        self.credited = False
+        for token in tokens:
+            token.group = self
 
 
 class _QpPump:
-    """Per-QP submission throttle honouring the send-queue depth."""
+    """Per-QP submission throttle honouring the send-queue depth.
 
-    __slots__ = ("qp", "queue", "inflight", "capacity")
+    Synchronous singles keep the small interleaving-friendly window;
+    explicit batch submissions may fill the deeper batch window (the
+    caller asked for depth).  Batch reservations that find no room park
+    on ``waiters`` until completions return credit.
+    """
 
-    def __init__(self, qp: QueuePair, window: int = 8):
+    __slots__ = ("qp", "queue", "inflight", "capacity", "batch_capacity",
+                 "waiters")
+
+    def __init__(self, qp: QueuePair, window: int = 8,
+                 batch_window: int = 32):
         self.qp = qp
         self.queue: deque[SendWR] = deque()
         self.inflight = 0
         self.capacity = max(1, min(window, qp.sq_depth - 8))
+        self.batch_capacity = max(
+            self.capacity, min(batch_window, qp.sq_depth // 2)
+        )
+        self.waiters: list = []
 
     def submit(self, wr: SendWR) -> None:
         if self.inflight < self.capacity:
@@ -150,18 +340,218 @@ class _QpPump:
         else:
             self.queue.append(wr)
 
+    def reserve(self, want: int) -> int:
+        """Claim up to *want* batch slots; returns how many (may be 0)."""
+        room = self.batch_capacity - self.inflight
+        if room <= 0:
+            return 0
+        take = min(want, room)
+        self.inflight += take
+        return take
+
     def on_complete(self) -> None:
-        self.inflight -= 1
+        self.credit(1)
+
+    def credit(self, n: int) -> None:
+        self.inflight -= n
         while self.queue and self.inflight < self.capacity:
             self._post(self.queue.popleft())
+        if self.waiters and self.inflight < self.batch_capacity:
+            waiters, self.waiters = self.waiters, []
+            for event in waiters:
+                if not event.triggered:
+                    event.succeed()
 
     def _post(self, wr: SendWR) -> None:
         try:
             self.qp.post_send(wr)
             self.inflight += 1
         except RdmaError as exc:
-            token: _SubOp = wr.wr_id
-            token.op.sub_aborted(token.piece, RegionUnavailableError(str(exc)))
+            token: _WrToken = wr.wr_id
+            token.abort(RegionUnavailableError(str(exc)))
+
+
+def _coalesce(wrs: list[SendWR], max_wire_chunk: int) -> list[SendWR]:
+    """Merge adjacent pieces into single WRs where the wire allows it.
+
+    Two consecutive WRs merge when they are the same kind of one-sided
+    op against contiguous local *and* remote bytes of the same MRs with
+    the same wire scaling, and the merged WR stays under the wire-chunk
+    ceiling.  The merged token carries both WRs' sub-requests, so
+    failure replay still works at piece granularity.
+    """
+    merged = [wrs[0]]
+    for wr in wrs[1:]:
+        last = merged[-1]
+        if (wr.opcode is last.opcode
+                and wr.opcode in (Opcode.RDMA_READ, Opcode.RDMA_WRITE)
+                and wr.local_mr is not None
+                and wr.local_mr is last.local_mr
+                and wr.rkey == last.rkey
+                and wr.local_addr == last.local_addr + last.length
+                and wr.remote_addr == last.remote_addr + last.length
+                and (wr.wire_length is None) == (last.wire_length is None)
+                and (wr.wire_length is None
+                     or wr.wire_length * last.length
+                     == last.wire_length * wr.length)
+                and last.bytes_on_wire + wr.bytes_on_wire <= max_wire_chunk):
+            last.length += wr.length
+            if last.wire_length is not None:
+                last.wire_length += wr.wire_length
+            last.wr_id.subs.extend(wr.wr_id.subs)
+        else:
+            merged.append(wr)
+    return merged
+
+
+class IoBatch:
+    """Collects data-path ops for one flush — across mappings.
+
+    ``read``/``write`` stage through the client's registered pool (so
+    they may park waiting for staging space — generators); the
+    zero-copy and atomic variants queue synchronously.  ``flush``
+    plans every queued op, coalesces adjacent pieces per QP, and posts
+    each QP's share in doorbell batches; ``wait_all`` parks until every
+    future resolved and returns their values in queue order.
+    """
+
+    def __init__(self, client: "RStoreClient"):
+        self.client = client
+        #: futures in queue order (the order ``wait_all`` returns)
+        self.futures: list[OpFuture] = []
+        self._staged: list[tuple] = []
+        #: per-QP WR lists accumulated by ``_stage`` during flush
+        self._queues: dict[QueuePair, list[SendWR]] = {}
+
+    def read(self, mapping: "Mapping", offset: int, length: int,
+             wire_scale: int = 1):
+        """Queue a staged read (generator); returns its future."""
+        mapping._check_usable()
+        fut = OpFuture(self.client, mapping, Opcode.RDMA_READ, "read",
+                       offset, length, wire_scale)
+        self.futures.append(fut)
+        if length == 0:
+            fut._resolve(b"")
+            return fut
+        chunk = yield from self.client._staging.alloc(length)
+        fut._chunk = chunk
+        self._staged.append((fut, mapping, chunk.mr, chunk.addr))
+        return fut
+
+    def write(self, mapping: "Mapping", offset: int, payload: bytes,
+              wire_scale: int = 1):
+        """Queue a staged write (generator); returns its future."""
+        mapping._check_usable()
+        fut = OpFuture(self.client, mapping, Opcode.RDMA_WRITE, "write",
+                       offset, len(payload), wire_scale)
+        self.futures.append(fut)
+        if not payload:
+            fut._resolve(0)
+            return fut
+        chunk = yield from self.client._staging.alloc(len(payload))
+        fut._chunk = chunk
+        yield from self.client.nic.host.cpu.copy(len(payload))
+        chunk.write_bytes(payload)
+        self._staged.append((fut, mapping, chunk.mr, chunk.addr))
+        return fut
+
+    def read_into(self, mapping: "Mapping", local_mr: MemoryRegion,
+                  local_addr: int, offset: int, length: int,
+                  wire_scale: int = 1) -> OpFuture:
+        """Queue a zero-copy read; returns its future."""
+        mapping._check_usable()
+        fut = OpFuture(self.client, mapping, Opcode.RDMA_READ, "read_into",
+                       offset, length, wire_scale)
+        self.futures.append(fut)
+        if length == 0:
+            fut._resolve(None)
+            return fut
+        self._staged.append((fut, mapping, local_mr, local_addr))
+        return fut
+
+    def write_from(self, mapping: "Mapping", local_mr: MemoryRegion,
+                   local_addr: int, offset: int, length: int,
+                   wire_scale: int = 1) -> OpFuture:
+        """Queue a zero-copy write; returns its future."""
+        mapping._check_usable()
+        fut = OpFuture(self.client, mapping, Opcode.RDMA_WRITE, "write_from",
+                       offset, length, wire_scale)
+        self.futures.append(fut)
+        if length == 0:
+            fut._resolve(None)
+            return fut
+        self._staged.append((fut, mapping, local_mr, local_addr))
+        return fut
+
+    def faa(self, mapping: "Mapping", offset: int, delta: int,
+            idempotent: bool = False) -> OpFuture:
+        """Queue a fetch-and-add; see :meth:`Mapping.faa` for semantics."""
+        fut = mapping._make_atomic(Opcode.ATOMIC_FAA, offset, delta, 0,
+                                   idempotent)
+        self.futures.append(fut)
+        self._staged.append((fut, mapping, None, 0))
+        return fut
+
+    def cas(self, mapping: "Mapping", offset: int, expected: int,
+            desired: int, idempotent: bool = False) -> OpFuture:
+        """Queue a compare-and-swap; returns its future."""
+        fut = mapping._make_atomic(Opcode.ATOMIC_CAS, offset, expected,
+                                   desired, idempotent)
+        self.futures.append(fut)
+        self._staged.append((fut, mapping, None, 0))
+        return fut
+
+    def _stage(self, qp: QueuePair, wr: SendWR) -> None:
+        self._queues.setdefault(qp, []).append(wr)
+
+    def flush(self):
+        """Plan, coalesce and post everything queued (generator).
+
+        Returns the number of work requests posted (after coalescing).
+        The batch is reusable: ops queued after a flush go out on the
+        next one.
+        """
+        staged, self._staged = self._staged, []
+        for fut, mapping, local_mr, local_addr in staged:
+            if fut.done:
+                continue
+            try:
+                if fut.is_atomic:
+                    yield from mapping._submit_atomic(fut, batch=self)
+                else:
+                    yield from mapping._submit(fut, local_mr, local_addr,
+                                               batch=self)
+            except Exception as exc:
+                fut._fail(exc)
+        queues, self._queues = self._queues, {}
+        posted = 0
+        for qp, wrs in queues.items():
+            merged = _coalesce(wrs, self.client.config.max_wire_chunk)
+            posted += len(merged)
+            yield from self.client._post_batch(qp, merged)
+        return posted
+
+    def wait_all(self):
+        """Park until every queued future resolved (generator).
+
+        Returns the values in queue order; failed ops contribute
+        ``None``.  The **first** failure (in queue order) re-raises
+        after all futures have resolved, so no op is left dangling.
+        """
+        results = []
+        first_error: Optional[Exception] = None
+        for fut in self.futures:
+            try:
+                value = yield from fut.wait()
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+                results.append(None)
+            else:
+                results.append(value)
+        if first_error is not None:
+            raise first_error
+        return results
 
 
 class Mapping:
@@ -173,6 +563,8 @@ class Mapping:
         self.active = True
         #: host_id -> connected data QP (borrowed from the client cache)
         self._qps: dict[int, QueuePair] = {}
+        #: futures submitted and not yet resolved
+        self._inflight: set = set()
 
     @property
     def name(self) -> str:
@@ -183,49 +575,51 @@ class Mapping:
         return self.desc.size
 
     def unmap(self) -> None:
-        """Drop the mapping (QPs stay cached client-wide)."""
-        self.active = False
+        """Drop the mapping (QPs stay cached client-wide).
 
-    # -- data path ----------------------------------------------------------
+        Async ops still in flight fail deterministically with
+        :class:`NotMappedError` — their futures resolve at the current
+        instant instead of leaving parked processes dangling; late
+        completions for their WRs are ignored by the dispatcher.
+        """
+        self.active = False
+        for fut in list(self._inflight):
+            fut._fail(NotMappedError(
+                f"region {self.name!r} was unmapped with the operation "
+                "in flight"
+            ))
+
+    # -- blocking data path (submit + wait) ---------------------------------
 
     def read(self, offset: int, length: int, wire_scale: int = 1):
         """Read bytes (generator) via the staging pool."""
-        chunk = yield from self.client._staging.alloc(length)
-        try:
-            yield from self.read_into(
-                chunk.mr, chunk.addr, offset, length, wire_scale=wire_scale
-            )
-            data = chunk.read_bytes(length)
-        finally:
-            chunk.release()
+        fut = yield from self.read_async(offset, length,
+                                         wire_scale=wire_scale)
+        data = yield from fut.wait()
         return data
 
     def write(self, offset: int, payload: bytes, wire_scale: int = 1):
         """Write bytes (generator) via the staging pool."""
-        chunk = yield from self.client._staging.alloc(len(payload))
-        try:
-            yield from self.client.nic.host.cpu.copy(len(payload))
-            chunk.write_bytes(payload)
-            yield from self.write_from(
-                chunk.mr, chunk.addr, offset, len(payload), wire_scale=wire_scale
-            )
-        finally:
-            chunk.release()
-        return len(payload)
+        fut = yield from self.write_async(offset, payload,
+                                          wire_scale=wire_scale)
+        count = yield from fut.wait()
+        return count
 
     def read_into(self, local_mr: MemoryRegion, local_addr: int,
                   offset: int, length: int, wire_scale: int = 1):
         """Zero-copy read into a caller-registered buffer (generator)."""
-        yield from self._one_sided(
-            Opcode.RDMA_READ, local_mr, local_addr, offset, length, wire_scale
+        fut = yield from self.read_into_async(
+            local_mr, local_addr, offset, length, wire_scale=wire_scale
         )
+        yield from fut.wait()
 
     def write_from(self, local_mr: MemoryRegion, local_addr: int,
                    offset: int, length: int, wire_scale: int = 1):
         """Zero-copy write from a caller-registered buffer (generator)."""
-        yield from self._one_sided(
-            Opcode.RDMA_WRITE, local_mr, local_addr, offset, length, wire_scale
+        fut = yield from self.write_from_async(
+            local_mr, local_addr, offset, length, wire_scale=wire_scale
         )
+        yield from fut.wait()
 
     def faa(self, offset: int, delta: int, idempotent: bool = False):
         """Remote fetch-and-add on an 8-byte counter (generator).
@@ -240,10 +634,9 @@ class Mapping:
         (monotonic flags, advisory stats) to opt back into full
         remap-and-replay.
         """
-        wc = yield from self._atomic(
-            Opcode.ATOMIC_FAA, offset, compare=delta, idempotent=idempotent
-        )
-        return wc.atomic_result
+        fut = yield from self.faa_async(offset, delta, idempotent=idempotent)
+        old = yield from fut.wait()
+        return old
 
     def cas(self, offset: int, expected: int, desired: int,
             idempotent: bool = False):
@@ -253,11 +646,103 @@ class Mapping:
         replayed unless ``idempotent=True`` (a replayed CAS that won
         the first time finds ``desired`` in place and reports a loss).
         """
-        wc = yield from self._atomic(
-            Opcode.ATOMIC_CAS, offset, compare=expected, swap=desired,
-            idempotent=idempotent,
-        )
-        return wc.atomic_result
+        fut = yield from self.cas_async(offset, expected, desired,
+                                        idempotent=idempotent)
+        old = yield from fut.wait()
+        return old
+
+    # -- asynchronous data path ---------------------------------------------
+
+    def read_async(self, offset: int, length: int, wire_scale: int = 1):
+        """Submit a staged read (generator); returns its future."""
+        self._check_usable()
+        fut = OpFuture(self.client, self, Opcode.RDMA_READ, "read",
+                       offset, length, wire_scale)
+        if length == 0:
+            fut._resolve(b"")
+            return fut
+        chunk = yield from self.client._staging.alloc(length)
+        fut._chunk = chunk
+        try:
+            yield from self._submit(fut, chunk.mr, chunk.addr)
+        except Exception as exc:
+            fut._fail(exc)
+            raise
+        return fut
+
+    def write_async(self, offset: int, payload: bytes, wire_scale: int = 1):
+        """Submit a staged write (generator); returns its future."""
+        self._check_usable()
+        fut = OpFuture(self.client, self, Opcode.RDMA_WRITE, "write",
+                       offset, len(payload), wire_scale)
+        if not payload:
+            fut._resolve(0)
+            return fut
+        chunk = yield from self.client._staging.alloc(len(payload))
+        fut._chunk = chunk
+        yield from self.client.nic.host.cpu.copy(len(payload))
+        chunk.write_bytes(payload)
+        try:
+            yield from self._submit(fut, chunk.mr, chunk.addr)
+        except Exception as exc:
+            fut._fail(exc)
+            raise
+        return fut
+
+    def read_into_async(self, local_mr: MemoryRegion, local_addr: int,
+                        offset: int, length: int, wire_scale: int = 1):
+        """Submit a zero-copy read (generator); returns its future."""
+        self._check_usable()
+        fut = OpFuture(self.client, self, Opcode.RDMA_READ, "read_into",
+                       offset, length, wire_scale)
+        if length == 0:
+            fut._resolve(None)
+            return fut
+        try:
+            yield from self._submit(fut, local_mr, local_addr)
+        except Exception as exc:
+            fut._fail(exc)
+            raise
+        return fut
+
+    def write_from_async(self, local_mr: MemoryRegion, local_addr: int,
+                         offset: int, length: int, wire_scale: int = 1):
+        """Submit a zero-copy write (generator); returns its future."""
+        self._check_usable()
+        fut = OpFuture(self.client, self, Opcode.RDMA_WRITE, "write_from",
+                       offset, length, wire_scale)
+        if length == 0:
+            fut._resolve(None)
+            return fut
+        try:
+            yield from self._submit(fut, local_mr, local_addr)
+        except Exception as exc:
+            fut._fail(exc)
+            raise
+        return fut
+
+    def faa_async(self, offset: int, delta: int, idempotent: bool = False):
+        """Submit a fetch-and-add (generator); returns its future."""
+        fut = self._make_atomic(Opcode.ATOMIC_FAA, offset, delta, 0,
+                                idempotent)
+        try:
+            yield from self._submit_atomic(fut)
+        except Exception as exc:
+            fut._fail(exc)
+            raise
+        return fut
+
+    def cas_async(self, offset: int, expected: int, desired: int,
+                  idempotent: bool = False):
+        """Submit a compare-and-swap (generator); returns its future."""
+        fut = self._make_atomic(Opcode.ATOMIC_CAS, offset, expected,
+                                desired, idempotent)
+        try:
+            yield from self._submit_atomic(fut)
+        except Exception as exc:
+            fut._fail(exc)
+            raise
+        return fut
 
     # -- internals ---------------------------------------------------------------
 
@@ -273,75 +758,89 @@ class Mapping:
             return desc
         return self.desc
 
-    def _one_sided(self, opcode, local_mr, local_addr, offset, length,
-                   wire_scale):
+    def _make_atomic(self, opcode, offset, compare, swap,
+                     idempotent) -> OpFuture:
         self._check_usable()
-        if length == 0:
-            return
-        yield from self.client.nic.host.cpu.run(
-            self.client.config.issue_overhead_s
-        )
+        if offset % 8 != 0:
+            raise BoundsError(f"atomic offset {offset} not 8-byte aligned")
+        kind = "faa" if opcode is Opcode.ATOMIC_FAA else "cas"
+        return OpFuture(self.client, self, opcode, kind, offset, 8,
+                        idempotent=idempotent, compare=compare, swap=swap)
+
+    def _submit(self, fut: OpFuture, local_mr, local_addr, batch=None):
+        """Plan and post one read/write future (generator).
+
+        Synchronous submissions (``batch is None``) pay the per-op
+        issue overhead here and post through the per-QP pump; batched
+        ones stage WRs on the batch, which charges the overhead once
+        per doorbell instead.
+        """
+        self._check_usable()
+        client = self.client
+        if batch is None:
+            yield from client.nic.host.cpu.run(client.config.issue_overhead_s)
         desc = yield from self._resolve()
         if not desc.available:
             raise RegionUnavailableError(desc.unavailable_reason)
-        if self.client.config.two_sided_data_path:
-            yield from self.client._two_sided_io(
-                self, opcode, local_mr, local_addr, offset, length, desc
+        if client.config.two_sided_data_path:
+            self._register(fut)
+            client.sim.process(
+                self._two_sided_driver(fut, local_mr, local_addr, desc),
+                name="two-sided-io",
             )
             return
+        fut.local_mr = local_mr
+        self._register(fut)
+        pieces = self._plan_pieces(desc, fut.offset, fut.length, local_addr,
+                                   fut.wire_scale)
+        self._post_pieces(fut, desc, pieces, batch=batch)
+
+    def _submit_atomic(self, fut: OpFuture, batch=None):
+        """Resolve and post one atomic future (generator)."""
+        self._check_usable()
+        desc = yield from self._resolve()
+        if not desc.available:
+            raise RegionUnavailableError(desc.unavailable_reason)
+        self._register(fut)
+        self._post_atomic(fut, desc, batch=batch)
+
+    def _register(self, fut: OpFuture) -> None:
+        self._inflight.add(fut)
+
+    def _plan_pieces(self, desc, offset, length, local_addr, wire_scale):
         # split stripe pieces further so no single WR exceeds the wire
         # chunk ceiling (keeps concurrent flows interleaving fairly)
         chunk = max(1, self.client.config.max_wire_chunk // wire_scale)
-        pending = []
+        pieces = []
         cursor = local_addr
         for stripe, stripe_off, take in desc.locate(offset, length):
             pos = 0
             while pos < take:
                 part = min(chunk, take - pos)
-                pending.append((stripe.index, stripe_off + pos, part, cursor))
+                pieces.append((stripe.index, stripe_off + pos, part, cursor))
                 cursor += part
                 pos += part
-        # writes must land on every replica; reads hit only the primary
-        fan_out = opcode is Opcode.RDMA_WRITE
-        attempts = 0
-        while True:
-            op = self._issue_round(
-                desc, opcode, local_mr, pending, fan_out, wire_scale
-            )
-            yield op.event
-            if op.failure is None:
-                break
-            attempts += 1
-            if attempts > self.client.config.data_retry_limit:
-                raise RegionUnavailableError(
-                    f"{'write' if fan_out else 'read'} on {self.name!r} "
-                    f"failed after {attempts} attempts: {op.failure}"
-                ) from op.failure
-            # replay only the failed sub-operations against a refreshed
-            # descriptor (fan-out can fail a piece on several replicas)
-            pending = list(dict.fromkeys(op.failed))
-            desc = yield from self._remap_with_backoff(attempts)
-            self.client.retries += 1
-        self.client.ops_completed += 1
-        self.client.bytes_moved += length * wire_scale
+        return pieces
 
-    def _issue_round(self, desc, opcode, local_mr, pieces, fan_out,
-                     wire_scale) -> _DataOp:
-        """Post one round of sub-requests for *pieces*; returns its op."""
+    def _post_pieces(self, fut: OpFuture, desc, pieces, batch=None) -> None:
+        """Post (or stage) sub-requests for *pieces* on behalf of *fut*."""
+        client = self.client
         plans = []
         total = 0
         for piece in pieces:
             stripe = desc.stripes[piece[0]]
-            targets = stripe.replicas if fan_out else (stripe.primary,)
+            targets = stripe.replicas if fut.fan_out else (stripe.primary,)
             plans.append((piece, targets))
             total += len(targets)
-        op = _DataOp(self.client.sim, total)
+        # account for the whole round before posting: sub-requests can
+        # retire synchronously (dead QP) without ending the round early
+        fut._remaining += total
         for piece, targets in plans:
             _index, stripe_off, take, cursor = piece
             for replica in targets:
                 qp = self._qps.get(replica.host_id)
                 if qp is None or qp.state is not QpState.CONNECTED:
-                    op.sub_aborted(
+                    fut._sub_aborted(
                         piece,
                         NotMappedError(
                             f"no usable data QP for server {replica.host_id}"
@@ -349,17 +848,69 @@ class Mapping:
                     )
                     continue
                 wr = SendWR(
-                    opcode=opcode,
-                    wr_id=_SubOp(op, piece),
-                    local_mr=local_mr,
+                    opcode=fut.opcode,
+                    wr_id=_WrToken([(fut, piece)]),
+                    local_mr=fut.local_mr,
                     local_addr=cursor,
                     length=take,
                     remote_addr=replica.addr + stripe_off,
                     rkey=replica.rkey,
-                    wire_length=take * wire_scale if wire_scale != 1 else None,
+                    wire_length=(take * fut.wire_scale
+                                 if fut.wire_scale != 1 else None),
                 )
-                self.client._pump_for(qp).submit(wr)
-        return op
+                if batch is None:
+                    client._pump_for(qp).submit(wr)
+                else:
+                    batch._stage(qp, wr)
+
+    def _post_atomic(self, fut: OpFuture, desc, batch=None) -> None:
+        """Post (or stage) the single sub-request of an atomic future."""
+        client = self.client
+        pieces = list(desc.locate(fut.offset, 8))
+        if len(pieces) != 1:
+            fut._fail(BoundsError("atomic target spans a stripe boundary"))
+            return
+        stripe, stripe_off, _take = pieces[0]
+        if stripe.replication > 1:
+            fut._fail(RStoreError(
+                "atomics on replicated regions are not supported: a "
+                "NIC-side atomic cannot be mirrored consistently"
+            ))
+            return
+        fut._remaining += 1
+        qp = self._qps.get(stripe.host_id)
+        if qp is None or qp.state is not QpState.CONNECTED:
+            fut._sub_aborted(
+                None,
+                NotMappedError(
+                    f"no usable data QP for server {stripe.host_id}"
+                ),
+            )
+            return
+        wr = SendWR(
+            opcode=fut.opcode,
+            wr_id=_WrToken([(fut, None)]),
+            remote_addr=stripe.addr + stripe_off,
+            rkey=stripe.rkey,
+            compare=fut.compare,
+            swap=fut.swap,
+        )
+        if batch is None:
+            client._pump_for(qp).submit(wr)
+        else:
+            batch._stage(qp, wr)
+
+    def _two_sided_driver(self, fut: OpFuture, local_mr, local_addr, desc):
+        """Ablation: drive one future through the messaging data path."""
+        try:
+            yield from self.client._two_sided_io(
+                self, fut.opcode, local_mr, local_addr, fut.offset,
+                fut.length, desc
+            )
+        except Exception as exc:
+            fut._fail(exc)
+            return
+        fut._resolve(fut._take_value())
 
     def _remap_with_backoff(self, attempt: int):
         """Back off, re-``lookup``, rebuild QP tables (generator).
@@ -397,74 +948,6 @@ class Mapping:
         self.desc = desc
         return self.desc
 
-    def _atomic(self, opcode, offset, compare=0, swap=0, idempotent=False):
-        """One remote atomic (generator); see :meth:`faa` for retry rules.
-
-        A failed attempt is *replayable* only if the request provably
-        never reached the wire (no work completion: the QP was dead or
-        the post was rejected locally).  Once a completion error comes
-        back, the NIC-side outcome is unknowable — unless the caller
-        declared the op idempotent, the error surfaces immediately.
-        """
-        self._check_usable()
-        if offset % 8 != 0:
-            raise BoundsError(f"atomic offset {offset} not 8-byte aligned")
-        desc = yield from self._resolve()
-        if not desc.available:
-            raise RegionUnavailableError(desc.unavailable_reason)
-        attempts = 0
-        while True:
-            pieces = list(desc.locate(offset, 8))
-            if len(pieces) != 1:
-                raise BoundsError("atomic target spans a stripe boundary")
-            stripe, stripe_off, _take = pieces[0]
-            if stripe.replication > 1:
-                raise RStoreError(
-                    "atomics on replicated regions are not supported: a "
-                    "NIC-side atomic cannot be mirrored consistently"
-                )
-            op = _DataOp(self.client.sim, 1)
-            qp = self._qps.get(stripe.host_id)
-            if qp is None or qp.state is not QpState.CONNECTED:
-                op.sub_aborted(
-                    None,
-                    NotMappedError(
-                        f"no usable data QP for server {stripe.host_id}"
-                    ),
-                )
-            else:
-                self.client._pump_for(qp).submit(
-                    SendWR(
-                        opcode=opcode,
-                        wr_id=_SubOp(op, None),
-                        remote_addr=stripe.addr + stripe_off,
-                        rkey=stripe.rkey,
-                        compare=compare,
-                        swap=swap,
-                    )
-                )
-            yield op.event
-            if op.failure is None:
-                self.client.ops_completed += 1
-                return op.last_wc
-            # ``last_wc`` is only set when a completion (good or bad)
-            # came back — i.e. the request made it onto the wire
-            if op.last_wc is not None and not idempotent:
-                raise RegionUnavailableError(
-                    f"atomic on {self.name!r} failed after reaching the "
-                    f"NIC ({op.failure}); the remote side may have "
-                    "applied it, so it is not replayed — pass "
-                    "idempotent=True to opt into replay"
-                ) from op.failure
-            attempts += 1
-            if attempts > self.client.config.data_retry_limit:
-                raise RegionUnavailableError(
-                    f"atomic on {self.name!r} failed after {attempts} "
-                    f"attempts: {op.failure}"
-                ) from op.failure
-            desc = yield from self._remap_with_backoff(attempts)
-            self.client.retries += 1
-
 
 class RStoreClient:
     """One application's connection to the store."""
@@ -491,10 +974,17 @@ class RStoreClient:
         self._retry_rng = derive_rng(
             self.config.seed, f"rstore-client-{nic.host.host_id}-retry"
         )
+        #: futures awaiting remap-and-replay, served FIFO by the worker
+        self._retry_queue: deque[OpFuture] = deque()
+        self._retry_wakeup = None
+        self._resolve_seq = 0
         # -- metrics
         self.ops_completed = 0
         self.bytes_moved = 0
         self.retries = 0
+        #: failed pieces re-posted by replay rounds (always < the op's
+        #: total pieces when only part of a batch was hit by a fault)
+        self.pieces_replayed = 0
         #: control-path RPCs issued to the master (alloc, lookup,
         #: barrier, ...) — the separation thesis says steady-state data
         #: paths keep this flat; tests assert on it
@@ -513,7 +1003,12 @@ class RStoreClient:
             self.config.master_host, self.config.master_service
         )
         self.sim.process(self._completion_dispatcher(), name="client-dispatch")
+        self.sim.process(self._retry_worker(), name="client-retry")
         return self
+
+    def batch(self) -> IoBatch:
+        """A fresh :class:`IoBatch` bound to this client."""
+        return IoBatch(self)
 
     # -- control path ----------------------------------------------------------
 
@@ -630,22 +1125,225 @@ class RStoreClient:
 
     # -- internals -------------------------------------------------------------------
 
+    def _next_resolve_index(self) -> int:
+        self._resolve_seq += 1
+        return self._resolve_seq
+
     def _pump_for(self, qp: QueuePair) -> _QpPump:
         pump = self._pumps.get(qp)
         if pump is None:
-            pump = _QpPump(qp, window=self.config.data_window_per_qp)
+            pump = _QpPump(
+                qp,
+                window=self.config.data_window_per_qp,
+                batch_window=self.config.data_batch_window_per_qp,
+            )
             self._pumps[qp] = pump
         return pump
 
+    def _post_batch(self, qp: QueuePair, wrs: list[SendWR]):
+        """Post *wrs* in doorbell batches, honouring the pump window.
+
+        Generator: parks on the pump when the batch window is full and
+        resumes as completions return credit.  The per-doorbell issue
+        overhead is charged here — once per doorbell, not per WR.
+        """
+        pump = self._pump_for(qp)
+        idx = 0
+        while idx < len(wrs):
+            take = pump.reserve(len(wrs) - idx)
+            if take == 0:
+                event = self.sim.event()
+                pump.waiters.append(event)
+                yield event
+                continue
+            group = wrs[idx:idx + take]
+            idx += take
+            yield from self.nic.host.cpu.run(self.config.issue_overhead_s)
+            self._ring_doorbell(qp, pump, group)
+
+    def _ring_doorbell(self, qp: QueuePair, pump: _QpPump,
+                       wrs: list[SendWR]) -> None:
+        """One doorbell: selective signaling + atomic admission."""
+        tokens = [wr.wr_id for wr in wrs]
+        group = _Doorbell(pump, tokens)
+        for wr in wrs:
+            # atomics stay signaled — their completion carries the
+            # fetched value the future resolves with
+            wr.signaled = wr.opcode in _ATOMIC_OPS
+        wrs[-1].signaled = True
+        try:
+            qp.post_send_many(wrs)
+        except RdmaError as exc:
+            # nothing reached the NIC: hand the credit back and fail
+            # every carried sub-request so the retry worker replays
+            group.credited = True
+            pump.credit(len(wrs))
+            err = RegionUnavailableError(str(exc))
+            for token in tokens:
+                token.abort(err)
+
     def _completion_dispatcher(self):
+        """Owns every data-path completion; routes them to futures."""
         while True:
             wc = yield self._data_cq.next_completion()
-            pump = self._pumps.get(wc.qp)
-            if pump is not None:
-                pump.on_complete()
             token = wc.wr_id
-            if isinstance(token, _SubOp):
-                token.op.sub_done(token.piece, wc)
+            if not isinstance(token, _WrToken):
+                continue
+            group = token.group
+            if group is None:
+                # synchronous single: one WR, one signaled completion
+                pump = self._pumps.get(wc.qp)
+                if pump is not None:
+                    pump.on_complete()
+                if not token.retired:
+                    self._retire_token(token, wc)
+                continue
+            if not token.retired:
+                self._retire_token(token, wc)
+                if not wc.ok:
+                    self._break_group(group, token)
+                elif token is group.tokens[-1]:
+                    # tail success: in-order delivery proves every
+                    # unsignaled WR before it succeeded
+                    for t in group.tokens:
+                        if not t.retired:
+                            self._retire_token(t, None)
+            if group.unretired == 0 and not group.credited:
+                group.credited = True
+                group.pump.credit(len(group.tokens))
+
+    def _retire_token(self, token: _WrToken, wc) -> None:
+        """Deliver one token's outcome (*wc*, or ``None`` for success)."""
+        token.retired = True
+        if token.group is not None:
+            token.group.unretired -= 1
+        for fut, piece in token.subs:
+            if wc is None:
+                fut._sub_ok(piece)
+            else:
+                fut._sub_done(piece, wc)
+
+    def _break_group(self, group: _Doorbell, err_token: _WrToken) -> None:
+        """RC flush semantics for a doorbell batch hit by an error.
+
+        In-order delivery means everything posted *before* the failed
+        WR already succeeded (an earlier error would have arrived
+        first); everything *after* it is flushed — replayable for
+        reads/writes, ambiguous for atomics (the NIC may still execute
+        flushed WRs remotely).
+        """
+        idx = group.tokens.index(err_token)
+        for token in group.tokens[:idx]:
+            if not token.retired:
+                self._retire_token(token, None)
+        for token in group.tokens[idx + 1:]:
+            if token.retired:
+                continue
+            token.retired = True
+            group.unretired -= 1
+            for fut, piece in token.subs:
+                fut._sub_flushed(piece)
+
+    def _round_done(self, fut: OpFuture) -> None:
+        """Every sub-request of *fut*'s current round has retired."""
+        if fut.done:
+            return
+        if fut._failure is None:
+            self._settle(fut)
+            return
+        mapping = fut.mapping
+        # ``_last_wc`` is only set when a completion (good or bad) came
+        # back — i.e. the request made it onto the wire; a flushed
+        # atomic is just as ambiguous
+        if fut.is_atomic and not fut.idempotent and (
+                fut._last_wc is not None or fut._flush_ambiguous):
+            err = RegionUnavailableError(
+                f"atomic on {mapping.name!r} failed after reaching the "
+                f"NIC ({fut._failure}); the remote side may have "
+                "applied it, so it is not replayed — pass "
+                "idempotent=True to opt into replay"
+            )
+            err.__cause__ = fut._failure
+            fut._fail(err)
+            return
+        fut._attempts += 1
+        if fut._attempts > self.config.data_retry_limit:
+            kind = ("atomic" if fut.is_atomic
+                    else "write" if fut.fan_out else "read")
+            err = RegionUnavailableError(
+                f"{kind} on {mapping.name!r} failed after "
+                f"{fut._attempts} attempts: {fut._failure}"
+            )
+            err.__cause__ = fut._failure
+            fut._fail(err)
+            return
+        if not mapping.active:
+            fut._fail(NotMappedError(
+                f"region {mapping.name!r} was unmapped with the "
+                "operation in flight"
+            ))
+            return
+        self._retry_queue.append(fut)
+        self._wake_retry_worker()
+
+    def _settle(self, fut: OpFuture) -> None:
+        self.ops_completed += 1
+        if not fut.is_atomic:
+            self.bytes_moved += fut.length * fut.wire_scale
+        fut._resolve(fut._take_value())
+
+    def _wake_retry_worker(self) -> None:
+        if self._retry_wakeup is not None and not self._retry_wakeup.triggered:
+            self._retry_wakeup.succeed()
+
+    def _retry_worker(self):
+        """Background process: remap-and-replay for failed futures.
+
+        Replays are serialized FIFO, so two failed ops never race the
+        mapping's descriptor refresh — and whole simulations stay
+        deterministic.
+        """
+        while True:
+            while not self._retry_queue:
+                self._retry_wakeup = self.sim.event()
+                yield self._retry_wakeup
+                self._retry_wakeup = None
+            fut = self._retry_queue.popleft()
+            if fut.done:
+                continue
+            yield from self._replay(fut)
+
+    def _replay(self, fut: OpFuture):
+        """One remap-and-replay round for *fut* (generator).
+
+        Replays only the failed sub-operations against a refreshed
+        descriptor (fan-out can fail a piece on several replicas).
+        """
+        mapping = fut.mapping
+        pieces = list(dict.fromkeys(fut._failed))
+        fut._failed = []
+        fut._failure = None
+        fut._last_wc = None
+        fut._flush_ambiguous = False
+        try:
+            desc = yield from mapping._remap_with_backoff(fut._attempts)
+        except Exception as exc:
+            fut._fail(exc)
+            return
+        if fut.done:
+            return
+        if not mapping.active:
+            fut._fail(NotMappedError(
+                f"region {mapping.name!r} was unmapped with the "
+                "operation in flight"
+            ))
+            return
+        self.retries += 1
+        if fut.is_atomic:
+            mapping._post_atomic(fut, desc)
+        else:
+            self.pieces_replayed += len(pieces)
+            mapping._post_pieces(fut, desc, pieces)
 
     def _two_sided_io(self, mapping: Mapping, opcode, local_mr, local_addr,
                       offset, length, desc):

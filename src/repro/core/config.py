@@ -40,6 +40,12 @@ class RStoreConfig:
     #: server's egress behind one client); real RNIC flow control
     #: behaves the same way
     data_window_per_qp: int = 8
+    #: outstanding work requests per data QP for explicit ``IoBatch``
+    #: submissions — callers who opted into batching asked for depth,
+    #: so their window is deeper than the synchronous default (still
+    #: capped well under ``data_sq_depth`` to leave room for
+    #: stragglers of a broken batch)
+    data_batch_window_per_qp: int = 32
     #: size of the client's registered staging pool for the convenience
     #: byte-oriented read/write API
     staging_pool_bytes: int = 16 * MiB
@@ -95,5 +101,7 @@ class RStoreConfig:
             raise ValueError("repair_parallelism must be at least 1")
         if self.data_retry_limit < 0:
             raise ValueError("data_retry_limit cannot be negative")
+        if self.data_batch_window_per_qp < 1:
+            raise ValueError("data_batch_window_per_qp must be at least 1")
         if self.retry_backoff_base_s < 0 or self.retry_backoff_max_s < 0:
             raise ValueError("retry backoff durations cannot be negative")

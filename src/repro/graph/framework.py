@@ -267,19 +267,26 @@ class RStoreGraphEngine:
 
     def _worker_loop(self, ctx, program, results: dict, stats):
         cpu = ctx.cpu
+        client = ctx.client
         lo, hi, part = ctx.lo, ctx.hi, ctx.part
         n = self.graph.num_vertices
 
-        def scatter(mapping, values):
+        def scatter_async(mapping, values):
+            """Submit this slice's scatter; returns its future."""
             blob = values.tobytes()
             yield from cpu.copy(len(blob))
             ctx.scatter_mr.buffer.write(0, blob)
-            yield from mapping.write_from(
-                ctx.scatter_mr, ctx.scatter_mr.addr, lo * 8, len(blob)
+            batch = client.batch()
+            fut = batch.write_from(
+                mapping, ctx.scatter_mr, ctx.scatter_mr.addr, lo * 8,
+                len(blob)
             )
+            yield from batch.flush()
+            return fut
 
         local = program.initial(part, lo, hi)
-        yield from scatter(ctx.state[0], local)
+        fut = yield from scatter_async(ctx.state[0], local)
+        yield from fut.wait()
         # everyone's initial scatter is visible before the first gather
         yield from ctx.barrier.wait()
 
@@ -287,9 +294,15 @@ class RStoreGraphEngine:
         iteration = 0
         seen_total = 0
         while True:
-            yield from ctx.state[cur].read_into(
-                ctx.gather_mr, ctx.gather_mr.addr, 0, n * 8
+            # gather every remote vertex stripe with one batched flush:
+            # the striped pieces go out per-QP under doorbell batching
+            # instead of trickling through the synchronous window
+            gather = client.batch()
+            gfut = gather.read_into(
+                ctx.state[cur], ctx.gather_mr, ctx.gather_mr.addr, 0, n * 8
             )
+            yield from gather.flush()
+            yield from gfut.wait()
             x = np.frombuffer(
                 ctx.gather_mr.buffer.read(0, n * 8), dtype=np.float64
             )
@@ -297,11 +310,11 @@ class RStoreGraphEngine:
                 self.compute.superstep_cost(part.num_local_edges, hi - lo)
             )
             local, changed = program.apply(part, x, lo, hi)
-            yield from scatter(ctx.state[1 - cur], local)
-            # convergence on one-sided atomics: FAA the change count in,
-            # barrier (all contributions landed), read the cumulative
-            # total, difference it against last round's
+            # overlap the scatter of this slice with the convergence
+            # FAA; both must only be visible before the barrier
+            sfut = yield from scatter_async(ctx.state[1 - cur], local)
             yield from ctx.counter.add(int(changed))
+            yield from sfut.wait()
             yield from ctx.barrier.wait()
             cumulative = yield from ctx.counter.read()
             total = cumulative - seen_total

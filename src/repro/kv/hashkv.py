@@ -225,6 +225,85 @@ class RKVStore:
                 return value
         return None
 
+    def multi_get(self, keys: list):
+        """Batched lookup (generator); values (or ``None``) in key order.
+
+        Every outstanding probe rides shared :class:`IoBatch` flushes
+        instead of blocking per slot: one round snapshots each pending
+        key's candidate slot, a second batched round re-reads the
+        version words to validate the snapshots — the SeqLock
+        optimistic-read protocol, amortized across all keys.  Keys that
+        race a writer (odd or changed version) re-probe the same slot
+        next round; the per-slot retry budget matches :meth:`get`.
+        """
+        for key in keys:
+            self._check_key(key)
+        results: list = [None] * len(keys)
+        probes = [0] * len(keys)
+        tries = [0] * len(keys)
+        bases = [_hash64(key) for key in keys]
+        pending = list(range(len(keys)))
+
+        def slot_of(i):
+            return (bases[i] + probes[i]) % self.slots
+
+        def raced(i):
+            # same budget and failure mode as _read_slot
+            self.read_retries += 1
+            tries[i] += 1
+            if tries[i] >= _READ_RETRIES:
+                raise KvError(
+                    f"slot {slot_of(i)} kept changing under "
+                    f"{_READ_RETRIES} reads"
+                )
+
+        while pending:
+            snap = self.client.batch()
+            futs = {}
+            for i in pending:
+                futs[i] = yield from snap.read(
+                    self.mapping, self._slot_offset(slot_of(i)),
+                    self.slot_size,
+                )
+            yield from snap.flush()
+            snapshots = {}
+            for i in pending:
+                blob = yield from futs[i].wait()
+                version = int.from_bytes(blob[:_WORD], "little")
+                if version % 2 == 1:
+                    raced(i)  # writer mid-publish: re-probe next round
+                    continue
+                snapshots[i] = (version, blob)
+            if not snapshots:
+                continue
+            check = self.client.batch()
+            vfuts = {}
+            for i in snapshots:
+                vfuts[i] = yield from check.read(
+                    self.mapping, self._slot_offset(slot_of(i)), _WORD
+                )
+            yield from check.flush()
+            settled = []
+            for i, (version, blob) in snapshots.items():
+                word = yield from vfuts[i].wait()
+                if int.from_bytes(word, "little") != version:
+                    raced(i)  # a writer published between the reads
+                    continue
+                key_len, slot_key, value = self._parse_body(blob[_WORD:])
+                if key_len == 0:
+                    settled.append(i)  # never-used slot ends the chain
+                elif key_len != _TOMBSTONE and slot_key == keys[i]:
+                    results[i] = value
+                    settled.append(i)
+                else:
+                    probes[i] += 1
+                    tries[i] = 0
+                    if probes[i] >= _PROBE_LIMIT:
+                        settled.append(i)
+            for i in settled:
+                pending.remove(i)
+        return results
+
     def delete(self, key: bytes):
         """Remove (generator); returns whether the key existed."""
         self._check_key(key)

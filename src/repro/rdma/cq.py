@@ -9,7 +9,7 @@ a completion channel.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.rdma.types import Opcode, WcStatus
@@ -50,6 +50,8 @@ class CompletionQueue:
         #: total completions ever pushed (for metrics/tests)
         self.total_completions = 0
         self.overflowed = False
+        #: completions dropped by CQ overrun
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -61,9 +63,14 @@ class CompletionQueue:
             self._waiters.popleft().succeed(wc)
             return
         if len(self._entries) >= self.depth:
-            # Real hardware transitions the CQ to error; remember it so
-            # tests can assert the overflow was noticed.
+            # CQ overrun.  Real RNICs raise a fatal async event and the
+            # QP goes to error; mirroring that keeps ``depth`` honest
+            # instead of letting deep batches grow the queue unbounded.
             self.overflowed = True
+            self.dropped += 1
+            if wc.qp is not None:
+                wc.qp.set_error(f"CQ overrun (depth {self.depth})")
+            return
         self._entries.append(wc)
 
     def poll(self, max_entries: int = 16) -> list[WorkCompletion]:

@@ -56,6 +56,8 @@ class QueuePair:
         #: SEND payloads that arrived before a receive was posted
         self._unmatched: deque[tuple] = deque()
         self._inflight = 0
+        #: send WRs in post order, awaiting in-order completion delivery
+        self._order: deque[SendWR] = deque()
         pd.qps.append(self)
 
     # -- connection management (driven by the CM) ---------------------------
@@ -85,7 +87,41 @@ class QueuePair:
         if wr.local_mr is not None and wr.local_mr.pd is not self.pd:
             raise RdmaError("local MR belongs to a different protection domain")
         self._inflight += 1
+        wr._wc = None
+        self._order.append(wr)
         self.nic.submit(self, wr)
+
+    def post_send_many(self, wrs: list[SendWR]) -> None:
+        """Post a list of work requests with a single doorbell.
+
+        The whole list is admitted or rejected atomically: state and
+        send-queue space are checked for the full batch before any WR
+        is accepted, so a raise here means nothing reached the NIC.
+        The NIC charges one doorbell for the list and then processes
+        WQEs back to back — the verbs doorbell-batching idiom.
+        """
+        if not wrs:
+            return
+        if self.state is QpState.ERROR:
+            raise QpError(f"QP {self.qp_num} is in error state: {self.error_reason}")
+        if self.state is not QpState.CONNECTED:
+            raise RdmaError(f"QP {self.qp_num} is not connected")
+        if self._inflight + len(wrs) > self.sq_depth:
+            raise RdmaError(
+                f"send queue cannot admit {len(wrs)} work requests "
+                f"({self._inflight} of {self.sq_depth} in flight); poll the CQ"
+            )
+        for wr in wrs:
+            wr.validate()
+            if wr.local_mr is not None and wr.local_mr.pd is not self.pd:
+                raise RdmaError(
+                    "local MR belongs to a different protection domain"
+                )
+        self._inflight += len(wrs)
+        for wr in wrs:
+            wr._wc = None
+            self._order.append(wr)
+        self.nic.submit_many(self, wrs)
 
     def post_recv(self, wr: RecvWR) -> None:
         if self.state is QpState.ERROR:
@@ -116,12 +152,26 @@ class QueuePair:
         self._unmatched.append(arrival)
 
     def _complete_send(self, wr: SendWR, wc: WorkCompletion) -> None:
-        """Retire one send-side work request (called at completion time)."""
-        self._inflight -= 1
-        if wr.signaled or not wc.ok:
-            self.send_cq.push(wc)
-        if not wc.ok:
-            self.set_error(wc.detail or wc.status.value)
+        """Record one finished WR and deliver completions in post order.
+
+        RC completes work requests in post order even when the
+        underlying operations finish out of order (reads of different
+        sizes, a faulted WR timing out long after its successors).
+        Each completion is held until every earlier WR on the queue
+        has one, then delivered — the property that makes
+        tail-signaled doorbell batches sound: a delivered tail success
+        proves everything posted before it succeeded too.
+        """
+        wr._wc = wc
+        order = self._order
+        while order and order[0]._wc is not None:
+            head = order.popleft()
+            done = head._wc
+            self._inflight -= 1
+            if head.signaled or not done.ok:
+                self.send_cq.push(done)
+            if not done.ok:
+                self.set_error(done.detail or done.status.value)
 
     def set_error(self, reason: str) -> None:
         """Transition to ERROR and flush queued receives."""

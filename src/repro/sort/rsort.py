@@ -204,13 +204,17 @@ class RSort:
         )
         yield from barrier.wait()
 
-        # 1. read the input slice
+        # 1. read the input slice — one batched flush pulls the striped
+        # pieces from every server under doorbell batching
         input_map = yield from client.map(f"{tag}.input")
         in_mr = yield from client.alloc_local(slice_bytes)
-        yield from input_map.read_into(
-            in_mr, in_mr.addr, rank * slice_bytes, slice_bytes,
+        ingest = client.batch()
+        in_fut = ingest.read_into(
+            input_map, in_mr, in_mr.addr, rank * slice_bytes, slice_bytes,
             wire_scale=self.scale,
         )
+        yield from ingest.flush()
+        yield from in_fut.wait()
         records = np.frombuffer(
             in_mr.buffer.read(0, slice_bytes), dtype=np.uint8
         ).reshape(-1, RECORD_BYTES)
@@ -251,19 +255,36 @@ class RSort:
         # rotated destination order: if every worker walked peers
         # 0,1,2,... in lockstep the whole cluster would incast one
         # receiver at a time; starting at rank+1 spreads the load
+        sends = []
+        cursor = 0
         for step in range(1, workers + 1):
             peer = (rank + step) % workers
             chunk = records[dest == peer]
             if len(chunk) == 0:
                 continue
-            blob = chunk.tobytes()
-            yield from cpu.copy(len(blob))
-            out_mr.buffer.write(0, blob)
-            offset = yield from shuffle_maps[peer].faa(0, len(blob))
-            yield from shuffle_maps[peer].write_from(
-                out_mr, out_mr.addr, _HEADER + offset, len(blob),
-                wire_scale=self.scale,
-            )
+            sends.append((peer, cursor, chunk.tobytes()))
+            cursor += len(chunk) * RECORD_BYTES
+        if sends:
+            # stage every destination's chunk at its own offset, then
+            # pipeline the whole shuffle: all FAA reservations go out
+            # concurrently, and every record write rides one batched
+            # flush instead of a blocking round-trip per destination
+            yield from cpu.copy(cursor)
+            for _peer, pos, blob in sends:
+                out_mr.buffer.write(pos, blob)
+            reserve = client.batch()
+            for peer, _pos, blob in sends:
+                reserve.faa(shuffle_maps[peer], 0, len(blob))
+            yield from reserve.flush()
+            offsets = yield from reserve.wait_all()
+            shuffle = client.batch()
+            for (peer, pos, blob), offset in zip(sends, offsets):
+                shuffle.write_from(
+                    shuffle_maps[peer], out_mr, out_mr.addr + pos,
+                    _HEADER + offset, len(blob), wire_scale=self.scale,
+                )
+            yield from shuffle.flush()
+            yield from shuffle.wait_all()
         yield from barrier.wait()  # all shuffle writes have landed
 
         # 5. local sort of the shuffle region
@@ -273,9 +294,13 @@ class RSort:
         my_records = np.empty((0, RECORD_BYTES), dtype=np.uint8)
         if nbytes:
             recv_mr = yield from client.alloc_local(nbytes)
-            yield from own.read_into(
-                recv_mr, recv_mr.addr, _HEADER, nbytes, wire_scale=self.scale
+            merge = client.batch()
+            m_fut = merge.read_into(
+                own, recv_mr, recv_mr.addr, _HEADER, nbytes,
+                wire_scale=self.scale,
             )
+            yield from merge.flush()
+            yield from m_fut.wait()
             my_records = np.frombuffer(
                 recv_mr.buffer.read(0, nbytes), dtype=np.uint8
             ).reshape(-1, RECORD_BYTES)

@@ -176,6 +176,61 @@ def test_concurrent_writers_same_key_last_write_wins(cluster):
     assert final.startswith(b"worker-") and final.endswith(b"-9")
 
 
+def test_multi_get_matches_sequential_gets(cluster):
+    store = make_store(cluster, "mget")
+
+    def app():
+        for i in range(12):
+            yield from store.put(f"key-{i}".encode(), f"val-{i}".encode())
+        yield from store.delete(b"key-5")
+        keys = [f"key-{i}".encode() for i in range(12)] + [b"ghost", b"key-5"]
+        batched = yield from store.multi_get(keys)
+        singles = []
+        for key in keys:
+            singles.append((yield from store.get(key)))
+        return batched, singles
+
+    batched, singles = cluster.run_app(app())
+    assert batched == singles
+    assert batched[0] == b"val-0" and batched[-2] is None and batched[-1] is None
+
+
+def test_multi_get_probes_past_tombstones(cluster):
+    # tiny table forces collisions and probe chains, like the delete test
+    store = make_store(cluster, "mget-tomb", slots=4)
+
+    def app():
+        for key in (b"a", b"b", b"c"):
+            yield from store.put(key, b"v-" + key)
+        yield from store.delete(b"b")
+        return (yield from store.multi_get([b"a", b"b", b"c", b"nope"]))
+
+    assert cluster.run_app(app()) == [b"v-a", None, b"v-c", None]
+
+
+def test_multi_get_empty_and_batching_metric(cluster):
+    store = make_store(cluster, "mget-batch")
+    nic = cluster.client(1).nic
+
+    def app():
+        empty = yield from store.multi_get([])
+        for i in range(16):
+            yield from store.put(f"bk-{i}".encode(), b"x" * i)
+        bells0, ops0 = nic.doorbells_rung, nic.ops_posted
+        values = yield from store.multi_get(
+            [f"bk-{i}".encode() for i in range(16)]
+        )
+        bells = nic.doorbells_rung - bells0
+        ops = nic.ops_posted - ops0
+        return empty, values, bells, ops
+
+    empty, values, bells, ops = cluster.run_app(app())
+    assert empty == []
+    assert values == [b"x" * i for i in range(16)]
+    # the snapshot and validation rounds each ride shared doorbells
+    assert bells < ops
+
+
 def test_no_server_cpu_involved(cluster):
     store = make_store(cluster, "offload")
     busy_before = {

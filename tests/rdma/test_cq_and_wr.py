@@ -65,6 +65,25 @@ class TestCompletionQueue:
             cq.push(wc(i))
         assert cq.overflowed
 
+    def test_overrun_drops_and_errors_owner_qp(self):
+        class StubQp:
+            reason = None
+
+            def set_error(self, reason):
+                self.reason = reason
+
+        qp = StubQp()
+        cq = CompletionQueue(Simulator(), depth=2)
+        for i in range(4):
+            entry = wc(i)
+            entry.qp = qp
+            cq.push(entry)
+        assert cq.overflowed
+        assert cq.dropped == 2
+        # overrun entries are dropped, not silently appended
+        assert [w.wr_id for w in cq.poll(10)] == [0, 1]
+        assert "CQ overrun" in qp.reason
+
     def test_total_completions_counter(self):
         cq = CompletionQueue(Simulator())
         for i in range(7):
