@@ -49,7 +49,14 @@ class SenseBarrier:
             base_s=poll_interval_s, max_s=8 * poll_interval_s,
         )
         # -- metrics
-        self.spins = 0
+        self._m_spins = client.obs.metrics.counter(
+            "coord.barrier.spins", name=name,
+            host=client.nic.host.host_id)
+
+    @property
+    def spins(self) -> int:
+        """Sense-poll rounds spent parked behind slower parties."""
+        return int(self._m_spins.value)
 
     # -- setup (control path) ------------------------------------------------
 
@@ -94,7 +101,7 @@ class SenseBarrier:
                 sense = yield from read_word(self.mapping, _SENSE)
                 if sense == target:
                     break
-                self.spins += 1
+                self._m_spins.inc()
                 yield from self._poll.pause()
         self.generation += 1
         self.local_sense = 1 - self.local_sense

@@ -74,10 +74,32 @@ class DoorbellQueue:
             base_s=poll_interval_s, max_s=16 * poll_interval_s,
         )
         # -- metrics
-        self.sent = 0
-        self.received = 0
-        self.polls = 0
-        self.stalls = 0
+        _labels = dict(name=name, host=client.nic.host.host_id)
+        _m = client.obs.metrics
+        self._m_sent = _m.counter("coord.doorbell.sent", **_labels)
+        self._m_received = _m.counter("coord.doorbell.received", **_labels)
+        self._m_polls = _m.counter("coord.doorbell.polls", **_labels)
+        self._m_stalls = _m.counter("coord.doorbell.stalls", **_labels)
+
+    @property
+    def sent(self) -> int:
+        """Messages this handle enqueued."""
+        return int(self._m_sent.value)
+
+    @property
+    def received(self) -> int:
+        """Messages this handle dequeued."""
+        return int(self._m_received.value)
+
+    @property
+    def polls(self) -> int:
+        """Consumer poll rounds that found nothing ready."""
+        return int(self._m_polls.value)
+
+    @property
+    def stalls(self) -> int:
+        """Producer waits for the consumer to free a slot."""
+        return int(self._m_stalls.value)
 
     @classmethod
     def _region_size(cls, capacity: int, slot_payload: int) -> int:
@@ -118,7 +140,7 @@ class DoorbellQueue:
             self._head_cache = yield from read_word(self.mapping, _HEAD)
             if seq - self._head_cache < self.capacity:
                 break
-            self.stalls += 1
+            self._m_stalls.inc()
             yield from self._poll.pause()
         slot_off = self._slot_off(seq)
         body = len(payload).to_bytes(8, "little") + payload
@@ -138,7 +160,7 @@ class DoorbellQueue:
         yield from batch.flush()
         yield from publish.wait()
         yield from bell.wait()
-        self.sent += 1
+        self._m_sent.inc()
         return seq
 
     # -- the consumer (data path) ----------------------------------------------
@@ -157,7 +179,7 @@ class DoorbellQueue:
                 self._bell_cache = yield from read_word(self.mapping, _BELL)
                 if self._bell_cache > self.consumed:
                     continue
-            self.polls += 1
+            self._m_polls.inc()
             yield from self._poll.pause()
         blob = yield from self.mapping.read(
             slot_off + _WORD, _WORD + self.slot_payload
@@ -172,7 +194,7 @@ class DoorbellQueue:
         self.consumed += 1
         # free the slot for wrapping producers
         yield from write_word(self.mapping, _HEAD, self.consumed)
-        self.received += 1
+        self._m_received.inc()
         return payload
 
     def pending(self):

@@ -52,8 +52,22 @@ class RemoteLock:
         self.held = False
         self._backoff = Backoff.for_client(client, f"lock-{name}")
         # -- metrics
-        self.acquisitions = 0
-        self.contended = 0
+        _labels = dict(name=name, host=client.nic.host.host_id,
+                       token=self.token)
+        self._m_acquisitions = client.obs.metrics.counter(
+            "coord.lock.acquisitions", **_labels)
+        self._m_contended = client.obs.metrics.counter(
+            "coord.lock.contended", **_labels)
+
+    @property
+    def acquisitions(self) -> int:
+        """Successful acquires by this handle."""
+        return int(self._m_acquisitions.value)
+
+    @property
+    def contended(self) -> int:
+        """CAS attempts that lost to another holder."""
+        return int(self._m_contended.value)
 
     # -- setup (control path) ------------------------------------------------
 
@@ -88,18 +102,18 @@ class RemoteLock:
             if observed == self.token:
                 # our CAS won before the completion was lost
                 self.held = True
-                self.acquisitions += 1
+                self._m_acquisitions.inc()
                 return True
             # anything else — including 0 — means our CAS lost; a
             # free word here is the *real* holder having released
             # since, not evidence that we ever held it
-            self.contended += 1
+            self._m_contended.inc()
             return False
         if old == 0:
             self.held = True
-            self.acquisitions += 1
+            self._m_acquisitions.inc()
             return True
-        self.contended += 1
+        self._m_contended.inc()
         return False
 
     def acquire(self):

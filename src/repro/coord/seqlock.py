@@ -44,8 +44,23 @@ class SeqLock:
         self.body_size = body_size
         self.max_read_retries = max_read_retries
         # -- metrics
-        self.read_retries = 0
-        self.lock_failures = 0
+        _m = mapping.client.obs.metrics
+        _labels = dict(region=mapping.name, offset=offset,
+                       host=mapping.client.nic.host.host_id)
+        self._m_read_retries = _m.counter("coord.seqlock.read_retries",
+                                          **_labels)
+        self._m_lock_failures = _m.counter("coord.seqlock.lock_failures",
+                                           **_labels)
+
+    @property
+    def read_retries(self) -> int:
+        """Snapshot reads rerun because a writer was in flight."""
+        return int(self._m_read_retries.value)
+
+    @property
+    def lock_failures(self) -> int:
+        """CAS lock attempts that lost the version race."""
+        return int(self._m_lock_failures.value)
 
     @property
     def record_size(self) -> int:
@@ -82,12 +97,12 @@ class SeqLock:
             blob = yield from self.mapping.read(self.offset, self.record_size)
             version = int.from_bytes(blob[:_WORD], "little")
             if version % 2 == 1:
-                self.read_retries += 1
+                self._m_read_retries.inc()
                 continue
             check = yield from self.mapping.read(self.offset, _WORD)
             if int.from_bytes(check, "little") == version:
                 return version, blob[_WORD:]
-            self.read_retries += 1
+            self._m_read_retries.inc()
         raise CoordError(
             f"record at offset {self.offset} kept changing under "
             f"{self.max_read_retries} reads"
@@ -101,7 +116,7 @@ class SeqLock:
             raise CoordError(f"cannot lock from odd version {version}")
         old = yield from self.mapping.cas(self.offset, version, version + 1)
         if old != version:
-            self.lock_failures += 1
+            self._m_lock_failures.inc()
             return False
         return True
 

@@ -72,6 +72,7 @@ from repro.core.errors import (
 )
 from repro.core.pool import LocalBufferPool
 from repro.core.region import RegionDesc
+from repro.obs import obs_for
 from repro.rdma.cm import ConnectionManager
 from repro.rdma.memory import MemoryRegion
 from repro.rdma.nic import RNic
@@ -123,6 +124,7 @@ class OpFuture:
         "local_mr", "done", "value", "error", "resolved_at",
         "resolve_index", "_event", "_chunk", "_remaining", "_failure",
         "_failed", "_last_wc", "_flush_ambiguous", "_attempts",
+        "trace_id", "_span",
     )
 
     def __init__(self, client: "RStoreClient", mapping: "Mapping",
@@ -160,6 +162,18 @@ class OpFuture:
         self._last_wc = None
         self._flush_ambiguous = False
         self._attempts = 0
+        #: per-op trace: a whole-op envelope span from submission to
+        #: resolution, id shared by every layer's spans for this op
+        tracer = client.obs.tracer
+        if tracer.enabled:
+            self.trace_id = tracer.next_trace_id()
+            self._span = tracer.span(
+                f"data.op.{kind}", trace_id=self.trace_id,
+                offset=offset, nbytes=length,
+            )
+        else:
+            self.trace_id = None
+            self._span = None
 
     @property
     def is_atomic(self) -> bool:
@@ -168,9 +182,14 @@ class OpFuture:
     def wait(self):
         """Park until the op resolves (generator); return its value."""
         if not self.done:
+            tracer = self.client.obs.tracer
+            parked = self.client.sim.now if tracer.enabled else None
             if self._event is None:
                 self._event = self.client.sim.event()
             yield self._event
+            if parked is not None:
+                tracer.record("data.future.wait", parked,
+                              trace_id=self.trace_id, op=self.kind)
         if self.error is not None:
             raise self.error
         return self.value
@@ -202,6 +221,10 @@ class OpFuture:
         self.done = True
         self.resolved_at = self.client.sim.now
         self.resolve_index = self.client._next_resolve_index()
+        if self._span is not None:
+            self._span.finish(ok=self.error is None,
+                              attempts=self._attempts + 1)
+            self._span = None
         self.mapping._inflight.discard(self)
         if self._chunk is not None:
             self._chunk.release()
@@ -512,6 +535,8 @@ class IoBatch:
         next one.
         """
         staged, self._staged = self._staged, []
+        span = self.client.obs.tracer.span("data.batch.flush",
+                                           ops=len(staged))
         for fut, mapping, local_mr, local_addr in staged:
             if fut.done:
                 continue
@@ -529,6 +554,7 @@ class IoBatch:
             merged = _coalesce(wrs, self.client.config.max_wire_chunk)
             posted += len(merged)
             yield from self.client._post_batch(qp, merged)
+        span.finish(wrs=posted)
         return posted
 
     def wait_all(self):
@@ -777,10 +803,13 @@ class Mapping:
         """
         self._check_usable()
         client = self.client
+        span = client.obs.tracer.span("data.client.submit",
+                                      trace_id=fut.trace_id, op=fut.kind)
         if batch is None:
             yield from client.nic.host.cpu.run(client.config.issue_overhead_s)
         desc = yield from self._resolve()
         if not desc.available:
+            span.finish(ok=False)
             raise RegionUnavailableError(desc.unavailable_reason)
         if client.config.two_sided_data_path:
             self._register(fut)
@@ -788,21 +817,28 @@ class Mapping:
                 self._two_sided_driver(fut, local_mr, local_addr, desc),
                 name="two-sided-io",
             )
+            span.finish()
             return
         fut.local_mr = local_mr
         self._register(fut)
         pieces = self._plan_pieces(desc, fut.offset, fut.length, local_addr,
                                    fut.wire_scale)
         self._post_pieces(fut, desc, pieces, batch=batch)
+        span.finish(pieces=len(pieces))
 
     def _submit_atomic(self, fut: OpFuture, batch=None):
         """Resolve and post one atomic future (generator)."""
         self._check_usable()
+        span = self.client.obs.tracer.span("data.client.submit",
+                                           trace_id=fut.trace_id,
+                                           op=fut.kind)
         desc = yield from self._resolve()
         if not desc.available:
+            span.finish(ok=False)
             raise RegionUnavailableError(desc.unavailable_reason)
         self._register(fut)
         self._post_atomic(fut, desc, batch=batch)
+        span.finish()
 
     def _register(self, fut: OpFuture) -> None:
         self._inflight.add(fut)
@@ -978,17 +1014,45 @@ class RStoreClient:
         self._retry_queue: deque[OpFuture] = deque()
         self._retry_wakeup = None
         self._resolve_seq = 0
-        # -- metrics
-        self.ops_completed = 0
-        self.bytes_moved = 0
-        self.retries = 0
-        #: failed pieces re-posted by replay rounds (always < the op's
-        #: total pieces when only part of a batch was hit by a fault)
-        self.pieces_replayed = 0
-        #: control-path RPCs issued to the master (alloc, lookup,
-        #: barrier, ...) — the separation thesis says steady-state data
-        #: paths keep this flat; tests assert on it
-        self.master_calls = 0
+        # -- observability: registry instruments labelled by host; the
+        # legacy attribute names live on as read-only properties
+        self.obs = obs_for(sim)
+        _m = self.obs.metrics
+        _host = nic.host.host_id
+        self._m_ops_completed = _m.counter("client.ops_completed",
+                                           host=_host)
+        self._m_bytes_moved = _m.counter("client.bytes_moved", host=_host)
+        self._m_retries = _m.counter("client.retries", host=_host)
+        self._m_pieces_replayed = _m.counter("client.pieces_replayed",
+                                             host=_host)
+        self._m_master_calls = _m.counter("client.master_calls", host=_host)
+
+    # -- metrics (registry-backed; see repro.obs) -----------------------------
+
+    @property
+    def ops_completed(self) -> int:
+        return self._m_ops_completed.value
+
+    @property
+    def bytes_moved(self) -> int:
+        return self._m_bytes_moved.value
+
+    @property
+    def retries(self) -> int:
+        return self._m_retries.value
+
+    @property
+    def pieces_replayed(self) -> int:
+        """Failed pieces re-posted by replay rounds (always < the op's
+        total pieces when only part of a batch was hit by a fault)."""
+        return self._m_pieces_replayed.value
+
+    @property
+    def master_calls(self) -> int:
+        """Control-path RPCs issued to the master (alloc, lookup,
+        barrier, ...) — the separation thesis says steady-state data
+        paths keep this flat; tests assert on it."""
+        return self._m_master_calls.value
 
     def start(self):
         """Connect to the cluster (generator)."""
@@ -1013,11 +1077,16 @@ class RStoreClient:
     # -- control path ----------------------------------------------------------
 
     def _master_call(self, method: str, *args):
-        self.master_calls += 1
+        self._m_master_calls.inc()
+        span = self.obs.tracer.span(f"control.master.{method}",
+                                    kind="control",
+                                    host=self.nic.host.host_id)
         try:
             result = yield from self._master.call(method, *args)
         except RpcRemoteError as exc:
+            span.finish(ok=False)
             raise _translated(exc) from None
+        span.finish()
         return result
 
     def alloc(self, name: str, size: int, stripe_size: Optional[int] = None,
@@ -1066,13 +1135,17 @@ class RStoreClient:
         across mappings, so only first contact with a server pays the
         connection cost.
         """
+        span = self.obs.tracer.span("control.client.map", kind="control",
+                                    host=self.nic.host.host_id)
         desc = region
         if isinstance(region, str):
             desc = yield from self.lookup(region)
         if not desc.available:
+            span.finish(ok=False)
             raise RegionUnavailableError(desc.unavailable_reason)
         mapping = Mapping(self, desc)
         yield from self._ensure_qps(desc, mapping._qps)
+        span.finish(region=desc.name, hosts=len(desc.hosts))
         return mapping
 
     def _ensure_qps(self, desc: RegionDesc, table: dict) -> None:
@@ -1184,11 +1257,18 @@ class RStoreClient:
 
     def _completion_dispatcher(self):
         """Owns every data-path completion; routes them to futures."""
+        tracer = self.obs.tracer
         while True:
             wc = yield self._data_cq.next_completion()
             token = wc.wr_id
             if not isinstance(token, _WrToken):
                 continue
+            if tracer.enabled:
+                raised = getattr(wc, "_obs_raised", None)
+                if raised is not None:
+                    tracer.record("data.cq.complete", raised,
+                                  host=self.nic.host.host_id,
+                                  status=wc.status.value)
             group = token.group
             if group is None:
                 # synchronous single: one WR, one signaled completion
@@ -1287,9 +1367,9 @@ class RStoreClient:
         self._wake_retry_worker()
 
     def _settle(self, fut: OpFuture) -> None:
-        self.ops_completed += 1
+        self._m_ops_completed.inc()
         if not fut.is_atomic:
-            self.bytes_moved += fut.length * fut.wire_scale
+            self._m_bytes_moved.inc(fut.length * fut.wire_scale)
         fut._resolve(fut._take_value())
 
     def _wake_retry_worker(self) -> None:
@@ -1338,11 +1418,13 @@ class RStoreClient:
                 "operation in flight"
             ))
             return
-        self.retries += 1
+        self._m_retries.inc()
+        self.obs.tracer.event("data.retry.replay", trace_id=fut.trace_id,
+                              op=fut.kind, attempt=fut._attempts)
         if fut.is_atomic:
             mapping._post_atomic(fut, desc)
         else:
-            self.pieces_replayed += len(pieces)
+            self._m_pieces_replayed.inc(len(pieces))
             mapping._post_pieces(fut, desc, pieces)
 
     def _two_sided_io(self, mapping: Mapping, opcode, local_mr, local_addr,
@@ -1372,5 +1454,5 @@ class RStoreClient:
                     yield from rpc.call("ts_write", remote, payload)
                 pos += piece
             cursor += take
-        self.ops_completed += 1
-        self.bytes_moved += length
+        self._m_ops_completed.inc()
+        self._m_bytes_moved.inc(length)

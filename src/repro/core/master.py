@@ -28,6 +28,7 @@ from repro.core.region import (
     split_into_stripes,
 )
 from repro.core.repair import RepairPlanner
+from repro.obs import obs_for
 from repro.rdma.cm import ConnectionManager
 from repro.rdma.nic import RNic
 from repro.rpc.endpoint import RpcClient, RpcServer
@@ -62,6 +63,7 @@ class Master:
         self._note_waiters: dict[str, list] = {}
         self._rpc: Optional[RpcServer] = None
         self.alive = True
+        self.obs = obs_for(sim)
 
     def start(self):
         """Boot the master (generator)."""
@@ -84,11 +86,28 @@ class Master:
             "notify",
             "wait_note",
         ):
-            self._rpc.register(method, getattr(self, f"_{method}"))
+            self._rpc.register(
+                method, self._counted(method, getattr(self, f"_{method}"))
+            )
         yield from self._rpc.start()
         self.sim.process(self._lease_checker(), name="master-lease-checker")
         self.repair.start()
         return self
+
+    def _counted(self, method: str, handler):
+        """Wrap an RPC handler so every dispatch bumps its counter.
+
+        The census relies on these: after warm-up, every data-path op
+        must leave ``master.rpc_served`` untouched.
+        """
+        counter = self.obs.metrics.counter("master.rpc_served",
+                                           method=method)
+
+        def wrapped(*args, **kwargs):
+            counter.inc()
+            return (yield from handler(*args, **kwargs))
+
+        return wrapped
 
     # -- membership -----------------------------------------------------------
 

@@ -294,6 +294,10 @@ class RStoreGraphEngine:
         iteration = 0
         seen_total = 0
         while True:
+            step_span = client.obs.tracer.span(
+                "app.graph.superstep", kind="app", rank=ctx.rank,
+                iteration=iteration,
+            )
             # gather every remote vertex stripe with one batched flush:
             # the striped pieces go out per-QP under doorbell batching
             # instead of trickling through the synchronous window
@@ -320,6 +324,7 @@ class RStoreGraphEngine:
             total = cumulative - seen_total
             seen_total = cumulative
             iteration += 1
+            step_span.finish(changed=total)
             if program.done(iteration, total):
                 break
             # keep next round's FAAs from racing a straggler's read

@@ -60,8 +60,21 @@ class RKVStore:
         self.slot_size = self._slot_size(key_size, value_size)
         self._backoff = Backoff.for_client(client, f"kv-{name}")
         # -- client-local metrics
-        self.read_retries = 0
-        self.lock_retries = 0
+        _labels = dict(table=name, host=client.nic.host.host_id)
+        self._m_read_retries = client.obs.metrics.counter(
+            "kv.read_retries", **_labels)
+        self._m_lock_retries = client.obs.metrics.counter(
+            "kv.lock_retries", **_labels)
+
+    @property
+    def read_retries(self) -> int:
+        """Slot snapshots rerun because a writer raced the read."""
+        return int(self._m_read_retries.value)
+
+    @property
+    def lock_retries(self) -> int:
+        """Writer lock attempts that lost the version race."""
+        return int(self._m_lock_retries.value)
 
     # -- construction ----------------------------------------------------------
 
@@ -150,6 +163,9 @@ class RKVStore:
     def _read_slot(self, index: int):
         """Optimistically read one consistent slot snapshot (generator)."""
         lock = self._slot_lock(index)
+        # slot views share one registry counter per slot, so fold in the
+        # *delta* this view added, not its cumulative value
+        before = lock.read_retries
         try:
             version, body = yield from lock.read()
         except CoordError as exc:
@@ -157,7 +173,7 @@ class RKVStore:
                 f"slot {index} kept changing under {_READ_RETRIES} reads"
             ) from exc
         finally:
-            self.read_retries += lock.read_retries
+            self._m_read_retries.inc(lock.read_retries - before)
         key_len, key, value = self._parse_body(body)
         return version, key_len, key, value
 
@@ -190,7 +206,7 @@ class RKVStore:
             locked = yield from lock.try_lock(version)
             if not locked:
                 # lost the race; pause, then re-probe from scratch
-                self.lock_retries += 1
+                self._m_lock_retries.inc()
                 yield from self._backoff.pause()
                 continue
             # guard against a racing writer having claimed the slot for
@@ -249,7 +265,7 @@ class RKVStore:
 
         def raced(i):
             # same budget and failure mode as _read_slot
-            self.read_retries += 1
+            self._m_read_retries.inc()
             tries[i] += 1
             if tries[i] >= _READ_RETRIES:
                 raise KvError(
@@ -325,7 +341,7 @@ class RKVStore:
             lock = self._slot_lock(index)
             locked = yield from lock.try_lock(version)
             if not locked:
-                self.lock_retries += 1
+                self._m_lock_retries.inc()
                 yield from self._backoff.pause()
                 continue
             yield from lock.publish(

@@ -1,0 +1,37 @@
+"""End-to-end observability: metrics registry, tracing, reporting.
+
+RStore's whole argument is the control-path/data-path split; this
+package makes the split *visible*:
+
+* :class:`MetricsRegistry` — named counters, gauges and HDR-style
+  log-bucketed histograms, labelled by host/method/etc.  Components
+  register their instruments here instead of growing ad-hoc
+  ``self.whatever = 0`` attributes, so one snapshot covers the NIC,
+  the client pipeline, the master and the coordination primitives.
+* :class:`Tracer` — per-operation spans stamped on *simulated* time as
+  an op crosses layers (client submit → batch coalesce → QP post →
+  NIC wire → CQ completion → future wait) plus control-path spans
+  (alloc/map/register/connect).  Disabled by default and zero-cost
+  when disabled; tracing never advances the simulated clock, so a
+  traced run and an untraced run produce bit-identical results.
+* :func:`obs_for` — the per-simulation :class:`Observability` context
+  components share; ``build_cluster`` exposes it as ``cluster.obs``.
+* :mod:`repro.obs.report` — per-layer latency breakdowns and the
+  control-vs-data call census behind ``python -m repro stats``.
+"""
+
+from repro.obs.context import Observability, obs_for
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Observability",
+    "Span",
+    "Tracer",
+    "obs_for",
+]

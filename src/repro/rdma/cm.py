@@ -103,15 +103,20 @@ class ConnectionManager:
         sides, REQ/REP/RTU control messages across the fabric.
         """
         model = nic.model
+        span = nic.obs.tracer.span("control.cm.connect", kind="control",
+                                   src=nic.host.host_id,
+                                   dst=remote_host_id, service=service_id)
         # Address & route resolution happen before any packet is sent.
         yield self.sim.timeout(model.cm_setup_s / 2)
         listener = self._listeners.get((remote_host_id, service_id))
         if listener is None:
+            span.finish(ok=False)
             raise ConnectError(
                 f"no listener for service {service_id!r} on host {remote_host_id}"
             )
         server_nic = listener.nic
         if not server_nic.alive or not nic.alive:
+            span.finish(ok=False)
             raise ConnectError(f"peer host {remote_host_id} is unreachable")
 
         client_qp = yield from nic.create_qp(
@@ -145,6 +150,7 @@ class ConnectionManager:
         client_qp._connect_to(server_qp)
         server_qp._connect_to(client_qp)
         self.connections += 1
+        span.finish(ok=True)
         return client_qp
 
     def _control(self, src: RNic, dst: RNic):

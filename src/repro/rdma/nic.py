@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.obs import obs_for
 from repro.rdma.cq import CompletionQueue, WorkCompletion
 from repro.rdma.device import NicModel
 from repro.rdma.memory import Buffer, HostMemory, MemoryRegion
@@ -56,15 +57,39 @@ class RNic:
         self._engine_busy_until = 0.0
         #: rkey -> MemoryRegion, the NIC's translation/permission table
         self.mr_by_rkey: dict[int, MemoryRegion] = {}
-        # -- metrics
-        self.ops_posted = 0
-        self.ops_completed = 0
-        self.bytes_sent = 0
-        #: doorbells rung: one per ``submit`` call and one per
-        #: ``submit_many`` *list* — ``doorbells_rung < ops_posted``
-        #: is the proof that doorbell batching is happening
-        self.doorbells_rung = 0
+        # -- observability: registry instruments labelled by host; the
+        # legacy attribute names live on as read-only properties
+        self.obs = obs_for(sim)
+        _m = self.obs.metrics
+        _host = host.host_id
+        self._m_ops_posted = _m.counter("rnic.ops_posted", host=_host)
+        self._m_ops_completed = _m.counter("rnic.ops_completed", host=_host)
+        self._m_bytes_sent = _m.counter("rnic.bytes_sent", host=_host)
+        self._m_doorbells = _m.counter("rnic.doorbells_rung", host=_host)
         host.services["rnic"] = self
+
+    # -- metrics (registry-backed; see repro.obs) -----------------------------
+
+    @property
+    def ops_posted(self) -> int:
+        """Work requests accepted by this NIC's engine."""
+        return self._m_ops_posted.value
+
+    @property
+    def ops_completed(self) -> int:
+        """Completions this NIC has raised (success or error)."""
+        return self._m_ops_completed.value
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._m_bytes_sent.value
+
+    @property
+    def doorbells_rung(self) -> int:
+        """One per ``submit`` call and one per ``submit_many`` *list* —
+        ``doorbells_rung < ops_posted`` is the proof that doorbell
+        batching is happening."""
+        return self._m_doorbells.value
 
     # ------------------------------------------------------------------
     # control path (generators charging setup time)
@@ -72,12 +97,18 @@ class RNic:
 
     def alloc_pd(self):
         """Allocate a protection domain (generator)."""
+        span = self.obs.tracer.span("control.nic.alloc_pd", kind="control",
+                                    host=self.host.host_id)
         yield self.sim.timeout(self.model.alloc_pd_s)
+        span.finish()
         return ProtectionDomain(self)
 
     def create_cq(self, depth: int = 4096):
         """Create a completion queue (generator)."""
+        span = self.obs.tracer.span("control.nic.create_cq", kind="control",
+                                    host=self.host.host_id)
         yield self.sim.timeout(self.model.create_cq_s)
+        span.finish()
         return CompletionQueue(self.sim, depth)
 
     def reg_mr(
@@ -103,8 +134,11 @@ class RNic:
         elif buffer.host_id != self.host.host_id:
             raise RdmaError("cannot register another host's memory")
         mr = MemoryRegion(buffer, access, pd=pd)
+        span = self.obs.tracer.span("control.nic.reg_mr", kind="control",
+                                    host=self.host.host_id, pages=mr.pages)
         cost = self.model.reg_mr_base_s + mr.pages * self.model.reg_mr_per_page_s
         yield self.sim.timeout(cost)
+        span.finish()
         self.mr_by_rkey[mr.rkey] = mr
         pd.regions.append(mr)
         return mr
@@ -126,7 +160,10 @@ class RNic:
         """Create an RC queue pair (generator)."""
         if pd.nic is not self:
             raise RdmaError("PD belongs to a different device")
+        span = self.obs.tracer.span("control.nic.create_qp", kind="control",
+                                    host=self.host.host_id)
         yield self.sim.timeout(self.model.create_qp_s)
+        span.finish()
         # NB: "recv_cq or send_cq" would be wrong here — an empty
         # CompletionQueue is falsy (it has __len__).
         return QueuePair(
@@ -144,8 +181,10 @@ class RNic:
 
     def submit(self, qp: QueuePair, wr: SendWR) -> None:
         """Accept a posted WQE; called by :meth:`QueuePair.post_send`."""
-        self.ops_posted += 1
-        self.doorbells_rung += 1
+        self._m_ops_posted.inc()
+        self._m_doorbells.inc()
+        if self.obs.tracer.enabled:
+            wr._obs_posted = self.sim.now
         model = self.model
         earliest = self.sim.now + model.doorbell_s
         processing = model.wqe_processing_s
@@ -165,8 +204,11 @@ class RNic:
         to ``wqe_processing_s`` — the mechanism behind the batched
         small-op throughput numbers (E13).
         """
-        self.ops_posted += len(wrs)
-        self.doorbells_rung += 1
+        self._m_ops_posted.inc(len(wrs))
+        self._m_doorbells.inc()
+        if self.obs.tracer.enabled:
+            for wr in wrs:
+                wr._obs_posted = self.sim.now
         model = self.model
         earliest = self.sim.now + model.doorbell_s
         start = max(earliest, self._engine_busy_until)
@@ -194,6 +236,13 @@ class RNic:
     def _launch(self, qp: QueuePair, wr: SendWR) -> None:
         if not self.alive:
             return  # a dead host sends nothing and nobody is listening
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            posted = getattr(wr, "_obs_posted", None)
+            if posted is not None:
+                tracer.record("data.qp.post", posted,
+                              host=self.host.host_id, op=wr.opcode.name)
+            wr._obs_launched = self.sim.now
         if self.fault_hook is not None:
             detail = self.fault_hook(self.host.host_id, wr)
             if detail:
@@ -230,7 +279,7 @@ class RNic:
         return wr.local_mr.buffer.read(offset, wr.length)
 
     def _transmit(self, dst: "RNic", nbytes: int, on_delivered: Callable[[], None]):
-        self.bytes_sent += nbytes
+        self._m_bytes_sent.inc(nbytes)
         self.network.transmit_message(
             self.host,
             dst.host,
@@ -259,19 +308,27 @@ class RNic:
                 byte_len = 0
                 atomic_result = None
                 detail = injected
-        self.ops_completed += 1
-        qp._complete_send(
-            wr,
-            WorkCompletion(
-                wr_id=wr.wr_id,
-                status=status,
-                opcode=wr.opcode,
-                byte_len=byte_len,
-                qp=qp,
-                atomic_result=atomic_result,
-                detail=detail,
-            ),
+        self._m_ops_completed.inc()
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            launched = getattr(wr, "_obs_launched", None)
+            if launched is not None:
+                tracer.record("data.nic.wire", launched,
+                              host=self.host.host_id, op=wr.opcode.name,
+                              status=status.value, nbytes=byte_len)
+        wc = WorkCompletion(
+            wr_id=wr.wr_id,
+            status=status,
+            opcode=wr.opcode,
+            byte_len=byte_len,
+            qp=qp,
+            atomic_result=atomic_result,
+            detail=detail,
         )
+        if tracer.enabled:
+            # consumed by the client dispatcher's data.cq.complete span
+            wc._obs_raised = self.sim.now
+        qp._complete_send(wr, wc)
 
     def _schedule_retry_failure(self, qp: QueuePair, wr: SendWR) -> None:
         """The peer is unreachable: complete with RETRY_EXC after timeout."""
@@ -376,7 +433,7 @@ class RNic:
                         ),
                     )
 
-                remote.bytes_sent += wr.bytes_on_wire
+                remote._m_bytes_sent.inc(wr.bytes_on_wire)
                 remote.network.transmit_message(
                     remote.host,
                     self.host,

@@ -206,6 +206,8 @@ class RSort:
 
         # 1. read the input slice — one batched flush pulls the striped
         # pieces from every server under doorbell batching
+        ingest_span = client.obs.tracer.span("app.sort.ingest", kind="app",
+                                             rank=rank)
         input_map = yield from client.map(f"{tag}.input")
         in_mr = yield from client.alloc_local(slice_bytes)
         ingest = client.batch()
@@ -218,6 +220,7 @@ class RSort:
         records = np.frombuffer(
             in_mr.buffer.read(0, slice_bytes), dtype=np.uint8
         ).reshape(-1, RECORD_BYTES)
+        ingest_span.finish(records=len(records))
 
         # 2. sampling -> splitters (control path via the master)
         prefixes = key_prefix_u64(records)
@@ -247,6 +250,8 @@ class RSort:
         dest = np.searchsorted(splitters, prefixes, side="right")
 
         # 4. one-sided shuffle: FAA-reserve, then RDMA-write
+        shuffle_span = client.obs.tracer.span("app.sort.shuffle", kind="app",
+                                              rank=rank)
         shuffle_maps = []
         for peer in range(workers):
             mapping = yield from client.map(f"{tag}.shuffle.{peer}")
@@ -286,8 +291,11 @@ class RSort:
             yield from shuffle.flush()
             yield from shuffle.wait_all()
         yield from barrier.wait()  # all shuffle writes have landed
+        shuffle_span.finish(bytes=cursor)
 
         # 5. local sort of the shuffle region
+        sort_span = client.obs.tracer.span("app.sort.local_sort", kind="app",
+                                           rank=rank)
         own = shuffle_maps[rank]
         tail = yield from own.read(0, _HEADER)
         nbytes = int.from_bytes(tail, "little")
@@ -306,6 +314,7 @@ class RSort:
             ).reshape(-1, RECORD_BYTES)
             yield from cpu.run(model.sort_cost(len(my_records) * self.scale))
             my_records = my_records[sort_order(my_records)]
+        sort_span.finish(records=len(my_records))
 
         # 6. write the sorted run to a local output region
         out_bytes = max(len(my_records) * RECORD_BYTES, 1)

@@ -9,6 +9,8 @@ scenarios without writing simulation code:
 * ``pagerank``            — graph framework vs message passing (E5 shape)
 * ``sort``                — RSort vs TeraSort pipeline (E7 shape)
 * ``kv``                  — the one-sided KV table vs a sockets KV
+* ``stats``               — traced run: per-layer latency + call census
+* ``trace``               — traced run: the raw span timeline
 
 All numbers printed are simulated time/throughput.
 """
@@ -233,6 +235,85 @@ def cmd_kv(args) -> int:
     return 0
 
 
+def _traced_run(args):
+    """One traced E13-shaped run: warm up, then batched steady reads.
+
+    Returns ``(cluster, obs, setup_census)`` — the census snapshot is
+    taken after warm-up, so the steady-state delta isolates the pure
+    data path.
+    """
+    from repro.obs import obs_for
+    from repro.obs.report import call_census
+
+    cluster = _build(args.machines, stripe_kib=64, capacity_mib=64)
+    obs = obs_for(cluster.sim)
+    obs.tracer.enable()
+    client = cluster.client(1)
+    region = 2 * MiB
+    window = max(1, args.window)
+
+    def offset(i):
+        return ((i * 37) % (region // (8 * KiB))) * 8 * KiB
+
+    def app():
+        # -- setup (control path): alloc, map, connect, warm every QP
+        yield from client.alloc("obs", region)
+        mapping = yield from client.map("obs")
+        for i in range(args.machines):
+            yield from mapping.read(i * (region // args.machines), 8)
+        baseline = call_census(obs.metrics)
+        # -- steady state (data path): batched one-sided reads
+        done = 0
+        while done < args.ops:
+            batch = client.batch()
+            for i in range(done, min(done + window, args.ops)):
+                yield from batch.read(mapping, offset(i), args.op_bytes)
+            yield from batch.flush()
+            yield from batch.wait_all()
+            done += window
+        return baseline
+
+    baseline = cluster.run_app(app())
+    return cluster, obs, baseline
+
+
+def cmd_stats(args) -> int:
+    from repro.obs.report import (
+        call_census,
+        format_counters,
+        format_table,
+        layer_breakdown,
+    )
+
+    _cluster, obs, baseline = _traced_run(args)
+    print(f"traced run: {args.ops} reads of {args.op_bytes} B, "
+          f"batch window {args.window}, {args.machines} machines\n")
+    print(format_table(
+        "data-path latency by layer (simulated µs)",
+        ["layer", "n", "p50", "p95", "p99", "max"],
+        layer_breakdown(obs.metrics),
+    ))
+    steady = call_census(obs.metrics, baseline=baseline)
+    print("\ncontrol vs data census (steady state, after warm-up):")
+    for key, value in steady.items():
+        print(f"  {key} = {value}")
+    verdict = ("OK: zero steady-state master RPCs — the data path is "
+               "fully one-sided" if steady["master_rpcs"] == 0 else
+               "WARNING: the steady state touched the master")
+    print(f"  -> {verdict}")
+    print("\ncounters:")
+    print(format_counters(obs.metrics))
+    return 0 if steady["master_rpcs"] == 0 else 1
+
+
+def cmd_trace(args) -> int:
+    from repro.obs.report import trace_report
+
+    _cluster, obs, _baseline = _traced_run(args)
+    print(trace_report(obs.tracer, limit=args.limit))
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -265,6 +346,20 @@ def main(argv=None) -> int:
     p = sub.add_parser("kv", help="one-sided KV vs sockets KV (E10)")
     p.add_argument("--clients", type=int, default=4)
     p.add_argument("--ops", type=int, default=200)
+
+    for name, help_text in (
+        ("stats", "traced run: latency breakdown + call census"),
+        ("trace", "traced run: the raw span timeline"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--machines", type=int, default=4)
+        p.add_argument("--ops", type=int, default=256)
+        p.add_argument("--op-bytes", type=int, default=128)
+        p.add_argument("--window", type=int, default=16,
+                       help="ops per batched flush")
+        if name == "trace":
+            p.add_argument("--limit", type=int, default=60,
+                           help="spans to print")
 
     args = parser.parse_args(argv)
     handler = globals()[f"cmd_{args.command}"]

@@ -83,3 +83,38 @@ def test_percentile_properties(samples):
         assert min(samples) <= value <= max(samples)
         assert value >= previous - 1e-9
         previous = value
+
+
+def test_empty_recorder_summary_raises():
+    recorder = Recorder(Simulator())
+    with pytest.raises(ValueError):
+        recorder.summary()
+
+
+def test_single_sample_summary_collapses_to_that_sample():
+    recorder = Recorder(Simulator())
+    recorder.add(4.2e-6, nbytes=64)
+    s = recorder.summary()
+    assert s.count == 1
+    assert (s.mean == s.p50 == s.p95 == s.p99 == s.minimum
+            == s.maximum == 4.2e-6)
+
+
+def test_percentile_rejects_negative_q():
+    with pytest.raises(ValueError):
+        percentile([1.0], -0.1)
+
+
+def test_recorder_stop_without_start_raises():
+    recorder = Recorder(Simulator())
+    with pytest.raises(KeyError):
+        recorder.stop("never-started")
+
+
+def test_recorder_add_skips_the_open_token_protocol():
+    recorder = Recorder(Simulator())
+    recorder.add(1.0)
+    recorder.add(3.0, nbytes=100)
+    assert recorder.samples == [1.0, 3.0]
+    assert recorder.bytes == 100
+    assert recorder.summary().mean == pytest.approx(2.0)

@@ -59,3 +59,40 @@ def test_origin_is_creation_time():
 def test_invalid_bucket_rejected():
     with pytest.raises(ValueError):
         Timeline(Simulator(), bucket_s=0)
+
+
+def test_boundary_instant_rolls_into_the_next_bucket():
+    sim = Simulator()
+    timeline = Timeline(sim, bucket_s=1.0)
+
+    def app():
+        timeline.record(10)
+        yield sim.timeout(1.0)  # exactly the bucket boundary
+        timeline.record(20)
+
+    sim.run(until=sim.process(app()))
+    assert timeline.series() == [(0.0, 10, 1), (1.0, 20, 1)]
+
+
+def test_gap_buckets_zero_fill():
+    sim = Simulator()
+    timeline = Timeline(sim, bucket_s=1.0)
+
+    def app():
+        timeline.record(5)
+        yield sim.timeout(3.5)
+        timeline.record(7)
+
+    sim.run(until=sim.process(app()))
+    assert timeline.series() == [
+        (0.0, 5, 1), (1.0, 0, 0), (2.0, 0, 0), (3.0, 7, 1),
+    ]
+
+
+def test_ops_only_records_count_without_bytes():
+    sim = Simulator()
+    timeline = Timeline(sim, bucket_s=1.0)
+    timeline.record()  # defaults: 0 bytes, 1 op
+    timeline.record(ops=3)
+    assert timeline.series() == [(0.0, 0, 4)]
+    assert timeline.peak_bandwidth_bps() == 0.0

@@ -48,6 +48,28 @@ def test_kv_reports_ops(capsys):
     assert "kops/s" in out
 
 
+def test_stats_proves_zero_steady_state_master_rpcs(capsys):
+    assert main(["stats", "--machines", "3", "--ops", "48",
+                 "--window", "8"]) == 0
+    out = capsys.readouterr().out
+    # the per-layer breakdown covers the whole pipeline
+    for layer in ("client", "qp", "wire", "cq", "wait", "op"):
+        assert layer in out
+    assert "master_rpcs = 0" in out
+    assert "zero steady-state master RPCs" in out
+    assert "data_ops = 48" in out
+
+
+def test_trace_prints_span_timeline(capsys):
+    assert main(["trace", "--machines", "3", "--ops", "8",
+                 "--window", "4", "--limit", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "control.master.alloc" in out
+    assert "data.nic.wire" in out
+    assert "data.batch.flush" in out
+    assert "dur(us)" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["definitely-not-a-command"])
