@@ -1,9 +1,13 @@
 """Repo-level pytest configuration.
 
-The only knob is ``--seed``, the randomized harness override: by
-default ``tests/harness`` runs a pinned seed matrix, and a failure
-prints the seed that produced it — re-run just that schedule with
-``pytest tests/harness --seed <n>``.
+Two knobs, both for the randomized harness in ``tests/harness``:
+
+* ``--seed N`` — run a single schedule instead of the pinned seed
+  matrix; a harness failure prints the seed that produced it, so
+  ``pytest tests/harness --seed <n>`` replays exactly that run.
+* ``--sanitize`` — build every harness cluster with the RSan race
+  sanitizer enabled (see ``repro.sanitize``); schedules are race-free
+  by construction, so any report fails the run.
 """
 
 
@@ -15,4 +19,11 @@ def pytest_addoption(parser):
         default=None,
         help="run the randomized harness with this single seed instead "
              "of the pinned seed matrix",
+    )
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help="run the randomized harness with the RSan race sanitizer "
+             "enabled (clean schedules must stay race-free)",
     )

@@ -22,6 +22,7 @@ from repro.rdma.memory import reset_key_counter
 from repro.rdma.nic import RNic
 from repro.rdma.pd import reset_pd_counter
 from repro.rdma.qp import reset_qpn_counter
+from repro.sanitize import rsan_for
 from repro.simnet.config import NetworkConfig
 from repro.simnet.kernel import Simulator
 from repro.simnet.topology import Network
@@ -108,6 +109,8 @@ def build_cluster(
     reset_pd_counter()
     reset_qpn_counter()
     sim = Simulator()
+    if config.sanitize:
+        rsan_for(sim).enable()
     net = Network(sim, num_machines, net_config or NetworkConfig())
     cm = ConnectionManager(sim, net)
     cluster = Cluster(sim, net, cm, config)

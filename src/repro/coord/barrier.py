@@ -84,24 +84,34 @@ class SenseBarrier:
     def wait(self):
         """Block until all ``parties`` handles have arrived (generator)."""
         target = self.local_sense
-        arrived = yield from self.mapping.faa(_COUNT, 1)
-        if arrived >= self.parties:
-            raise CoordError(
-                f"barrier {self.name!r} saw {arrived + 1} arrivals for "
-                f"{self.parties} parties: too many handles are waiting"
-            )
-        if arrived == self.parties - 1:
-            # last arriver: reset the count, then flip the sense (in
-            # this order — the flip is the release)
-            yield from write_word(self.mapping, _COUNT, 0)
-            yield from write_word(self.mapping, _SENSE, target)
-        else:
-            self._poll.reset()
-            while True:
-                sense = yield from read_word(self.mapping, _SENSE)
-                if sense == target:
-                    break
-                self._m_spins.inc()
-                yield from self._poll.pause()
+        rsan = self.client.rsan
+        actor = self.client._rsan_actor
+        # publish this party's pre-barrier work under the round's epoch
+        # key before arriving; every departing party joins the merged
+        # clock, so all pre-barrier accesses happen-before all
+        # post-barrier ones
+        epoch = ("barrier", self.name, self.generation)
+        rsan.sync_release(actor, epoch)
+        with rsan.exempt(actor):
+            arrived = yield from self.mapping.faa(_COUNT, 1)
+            if arrived >= self.parties:
+                raise CoordError(
+                    f"barrier {self.name!r} saw {arrived + 1} arrivals for "
+                    f"{self.parties} parties: too many handles are waiting"
+                )
+            if arrived == self.parties - 1:
+                # last arriver: reset the count, then flip the sense (in
+                # this order — the flip is the release)
+                yield from write_word(self.mapping, _COUNT, 0)
+                yield from write_word(self.mapping, _SENSE, target)
+            else:
+                self._poll.reset()
+                while True:
+                    sense = yield from read_word(self.mapping, _SENSE)
+                    if sense == target:
+                        break
+                    self._m_spins.inc()
+                    yield from self._poll.pause()
+        rsan.sync_acquire(actor, epoch)
         self.generation += 1
         self.local_sense = 1 - self.local_sense

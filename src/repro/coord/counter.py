@@ -65,8 +65,10 @@ class AtomicCounter:
         unless ``idempotent=True`` — see ``Mapping.faa`` for the
         exactly-once semantics this preserves.
         """
-        old = yield from self.mapping.faa(self.offset, delta,
-                                         idempotent=idempotent)
+        client = self.client
+        with client.rsan.exempt(client._rsan_actor):
+            old = yield from self.mapping.faa(self.offset, delta,
+                                              idempotent=idempotent)
         return self._observe((old + delta) % (1 << 64))
 
     def increment(self, idempotent: bool = False):
@@ -77,7 +79,9 @@ class AtomicCounter:
     def fetch(self, delta: int):
         """Fetch-and-add returning the *old* value (generator) — the
         reserve-a-range idiom (rsort's shuffle tails use this shape)."""
-        old = yield from self.mapping.faa(self.offset, delta)
+        client = self.client
+        with client.rsan.exempt(client._rsan_actor):
+            old = yield from self.mapping.faa(self.offset, delta)
         self._observe((old + delta) % (1 << 64))
         return old
 
@@ -91,7 +95,11 @@ class AtomicCounter:
         sim = self.client.sim
         if max_age_s > 0 and sim.now - self._cached_at <= max_age_s:
             return self.cached
-        value = yield from read_word(self.mapping, self.offset)
+        # counter polling is benign by construction (monotonic word,
+        # torn reads impossible at 8 bytes): exempt it like the other
+        # coordination internals
+        with self.client.rsan.exempt(self.client._rsan_actor):
+            value = yield from read_word(self.mapping, self.offset)
         return self._observe(value)
 
     # -- internals -------------------------------------------------------------

@@ -134,32 +134,43 @@ class DoorbellQueue:
                 f"payload of {len(payload)} bytes exceeds slot capacity "
                 f"{self.slot_payload}"
             )
-        seq = yield from self.mapping.faa(_TAIL, 1)
+        rsan = self.client.rsan
+        actor = self.client._rsan_actor
+        with rsan.exempt(actor):
+            seq = yield from self.mapping.faa(_TAIL, 1)
+        # a producer wrapping onto a freed slot joins the consumer's
+        # cumulative head release (the slot's prior contents are dead)
+        rsan.sync_acquire(actor, ("dbq", self.name, "head"))
+        # publish this message's clock before its body leaves: the
+        # consumer joins it after reading the slot
+        rsan.sync_release(actor, ("dbq", self.name, seq))
         self._poll.reset()
-        while seq - self._head_cache >= self.capacity:
-            self._head_cache = yield from read_word(self.mapping, _HEAD)
-            if seq - self._head_cache < self.capacity:
-                break
-            self._m_stalls.inc()
-            yield from self._poll.pause()
-        slot_off = self._slot_off(seq)
-        body = len(payload).to_bytes(8, "little") + payload
-        # the body write completes before anything else is issued: a
-        # publish replayed after a fault must never expose a slot whose
-        # seq word is fresh but whose body is stale
-        yield from self.mapping.write(slot_off + _WORD, body)
-        # publish + doorbell ride one batched flush.  Seeing the bell
-        # before the seq word is safe — the consumer re-polls the slot —
-        # so the two need no ordering round-trip between them; the bell
-        # FAA stays non-idempotent (a double bump would over-count).
-        batch = self.client.batch()
-        publish = yield from batch.write(
-            self.mapping, slot_off, (seq + 1).to_bytes(8, "little")
-        )
-        bell = batch.faa(self.mapping, _BELL, 1)
-        yield from batch.flush()
-        yield from publish.wait()
-        yield from bell.wait()
+        with rsan.exempt(actor):
+            while seq - self._head_cache >= self.capacity:
+                self._head_cache = yield from read_word(self.mapping, _HEAD)
+                if seq - self._head_cache < self.capacity:
+                    break
+                self._m_stalls.inc()
+                yield from self._poll.pause()
+            slot_off = self._slot_off(seq)
+            body = len(payload).to_bytes(8, "little") + payload
+            # the body write completes before anything else is issued: a
+            # publish replayed after a fault must never expose a slot
+            # whose seq word is fresh but whose body is stale
+            yield from self.mapping.write(slot_off + _WORD, body)
+            # publish + doorbell ride one batched flush.  Seeing the
+            # bell before the seq word is safe — the consumer re-polls
+            # the slot — so the two need no ordering round-trip between
+            # them; the bell FAA stays non-idempotent (a double bump
+            # would over-count).
+            batch = self.client.batch()
+            publish = yield from batch.write(
+                self.mapping, slot_off, (seq + 1).to_bytes(8, "little")
+            )
+            bell = batch.faa(self.mapping, _BELL, 1)
+            yield from batch.flush()
+            yield from publish.wait()
+            yield from bell.wait()
         self._m_sent.inc()
         return seq
 
@@ -167,23 +178,29 @@ class DoorbellQueue:
 
     def recv(self):
         """Dequeue the next message in sequence order (generator)."""
+        rsan = self.client.rsan
+        actor = self.client._rsan_actor
         slot_off = self._slot_off(self.consumed)
         self._poll.reset()
-        while True:
-            if self._bell_cache > self.consumed:
-                # something new is published somewhere; is it our slot?
-                seq = yield from read_word(self.mapping, slot_off)
-                if seq == self.consumed + 1:
-                    break
-            else:
-                self._bell_cache = yield from read_word(self.mapping, _BELL)
+        with rsan.exempt(actor):
+            while True:
                 if self._bell_cache > self.consumed:
-                    continue
-            self._m_polls.inc()
-            yield from self._poll.pause()
-        blob = yield from self.mapping.read(
-            slot_off + _WORD, _WORD + self.slot_payload
-        )
+                    # something new is published somewhere; our slot?
+                    seq = yield from read_word(self.mapping, slot_off)
+                    if seq == self.consumed + 1:
+                        break
+                else:
+                    self._bell_cache = yield from read_word(self.mapping,
+                                                            _BELL)
+                    if self._bell_cache > self.consumed:
+                        continue
+                self._m_polls.inc()
+                yield from self._poll.pause()
+            blob = yield from self.mapping.read(
+                slot_off + _WORD, _WORD + self.slot_payload
+            )
+        # the slot was published: join the producer of this message
+        rsan.sync_acquire(actor, ("dbq", self.name, self.consumed))
         length = int.from_bytes(blob[:_WORD], "little")
         if length > self.slot_payload:
             raise CoordError(
@@ -192,14 +209,20 @@ class DoorbellQueue:
             )
         payload = blob[_WORD : _WORD + length]
         self.consumed += 1
-        # free the slot for wrapping producers
-        yield from write_word(self.mapping, _HEAD, self.consumed)
+        # freeing the slot releases everything consumed so far to any
+        # producer that wraps onto it
+        rsan.sync_release(actor, ("dbq", self.name, "head"))
+        with rsan.exempt(actor):
+            # free the slot for wrapping producers
+            yield from write_word(self.mapping, _HEAD, self.consumed)
         self._m_received.inc()
         return payload
 
     def pending(self):
         """Published-message estimate from one doorbell read (generator)."""
-        self._bell_cache = yield from read_word(self.mapping, _BELL)
+        client = self.client
+        with client.rsan.exempt(client._rsan_actor):
+            self._bell_cache = yield from read_word(self.mapping, _BELL)
         return max(0, self._bell_cache - self.consumed)
 
     # -- internals -------------------------------------------------------------

@@ -92,17 +92,22 @@ class RemoteLock:
         """One CAS attempt (generator); returns whether we got it."""
         if self.held:
             raise CoordError(f"lock {self.name!r} is not reentrant")
+        rsan = self.client.rsan
+        actor = self.client._rsan_actor
         try:
-            old = yield from self.mapping.cas(self.offset, 0, self.token)
+            with rsan.exempt(actor):
+                old = yield from self.mapping.cas(self.offset, 0, self.token)
         except RegionUnavailableError:
             # ambiguous completion: the CAS may have applied.  Our
             # token is unique, so the word itself holds the answer
             # (reads replay internally, so this rides out the fault).
-            observed = yield from read_word(self.mapping, self.offset)
+            with rsan.exempt(actor):
+                observed = yield from read_word(self.mapping, self.offset)
             if observed == self.token:
                 # our CAS won before the completion was lost
                 self.held = True
                 self._m_acquisitions.inc()
+                rsan.sync_acquire(actor, ("lock", self.name))
                 return True
             # anything else — including 0 — means our CAS lost; a
             # free word here is the *real* holder having released
@@ -112,6 +117,7 @@ class RemoteLock:
         if old == 0:
             self.held = True
             self._m_acquisitions.inc()
+            rsan.sync_acquire(actor, ("lock", self.name))
             return True
         self._m_contended.inc()
         return False
@@ -129,11 +135,19 @@ class RemoteLock:
         """Release (generator); verifies this handle held the lock."""
         if not self.held:
             raise CoordError(f"releasing lock {self.name!r} we never took")
+        rsan = self.client.rsan
+        actor = self.client._rsan_actor
+        # publish before the CAS leaves: everything acked so far is
+        # covered; ops still in flight deliberately are not
+        rsan.sync_release(actor, ("lock", self.name))
         while True:
             try:
-                old = yield from self.mapping.cas(self.offset, self.token, 0)
+                with rsan.exempt(actor):
+                    old = yield from self.mapping.cas(self.offset,
+                                                      self.token, 0)
             except RegionUnavailableError:
-                observed = yield from read_word(self.mapping, self.offset)
+                with rsan.exempt(actor):
+                    observed = yield from read_word(self.mapping, self.offset)
                 if observed == self.token:
                     continue  # the CAS provably never applied: re-issue
                 old = self.token  # it applied; the word moved on

@@ -52,6 +52,12 @@ class SeqLock:
         self._m_lock_failures = _m.counter("coord.seqlock.lock_failures",
                                            **_labels)
 
+    def _sync_key(self, version: int) -> tuple:
+        """The happens-before key of one published version: a validated
+        reader of version *v* joins whatever the writer that published
+        *v* released."""
+        return ("seqlock", self.mapping.name, self.offset, version)
+
     @property
     def read_retries(self) -> int:
         """Snapshot reads rerun because a writer was in flight."""
@@ -93,14 +99,19 @@ class SeqLock:
         after ``max_read_retries`` racing reads (livelock that long in
         simulation means a writer died holding the word).
         """
+        client = self.mapping.client
+        rsan = client.rsan
         for _attempt in range(self.max_read_retries):
-            blob = yield from self.mapping.read(self.offset, self.record_size)
-            version = int.from_bytes(blob[:_WORD], "little")
-            if version % 2 == 1:
-                self._m_read_retries.inc()
-                continue
-            check = yield from self.mapping.read(self.offset, _WORD)
+            with rsan.exempt(client._rsan_actor):
+                blob = yield from self.mapping.read(self.offset,
+                                                    self.record_size)
+                version = int.from_bytes(blob[:_WORD], "little")
+                if version % 2 == 1:
+                    self._m_read_retries.inc()
+                    continue
+                check = yield from self.mapping.read(self.offset, _WORD)
             if int.from_bytes(check, "little") == version:
+                rsan.sync_acquire(client._rsan_actor, self._sync_key(version))
                 return version, blob[_WORD:]
             self._m_read_retries.inc()
         raise CoordError(
@@ -114,10 +125,16 @@ class SeqLock:
         """CAS the even *version* to odd (generator); returns success."""
         if version % 2 == 1:
             raise CoordError(f"cannot lock from odd version {version}")
-        old = yield from self.mapping.cas(self.offset, version, version + 1)
+        client = self.mapping.client
+        rsan = client.rsan
+        with rsan.exempt(client._rsan_actor):
+            old = yield from self.mapping.cas(self.offset, version,
+                                              version + 1)
         if old != version:
             self._m_lock_failures.inc()
             return False
+        # the CAS observed version: join the publisher of that version
+        rsan.sync_acquire(client._rsan_actor, self._sync_key(version))
         return True
 
     def publish(self, locked_version: int, body: bytes = b""):
@@ -125,25 +142,34 @@ class SeqLock:
         (generator).  ``locked_version`` is the odd value we CAS'd in."""
         if locked_version % 2 == 0:
             raise CoordError("publishing a record we never locked")
-        if body:
-            if len(body) > self.body_size:
-                raise CoordError(
-                    f"body of {len(body)} bytes exceeds record body "
-                    f"{self.body_size}"
-                )
-            yield from self.mapping.write(self.offset + _WORD, body)
-        yield from self.mapping.write(
-            self.offset, (locked_version + 1).to_bytes(8, "little")
-        )
+        client = self.mapping.client
+        rsan = client.rsan
+        # release under the version we are about to publish, before the
+        # writes leave: readers validating it join this clock
+        rsan.sync_release(client._rsan_actor,
+                          self._sync_key(locked_version + 1))
+        with rsan.exempt(client._rsan_actor):
+            if body:
+                if len(body) > self.body_size:
+                    raise CoordError(
+                        f"body of {len(body)} bytes exceeds record body "
+                        f"{self.body_size}"
+                    )
+                yield from self.mapping.write(self.offset + _WORD, body)
+            yield from self.mapping.write(
+                self.offset, (locked_version + 1).to_bytes(8, "little")
+            )
 
     def abort(self, original_version: int):
         """Drop the write lock without mutating (generator): restore
         the pre-lock even version, body untouched."""
         if original_version % 2 == 1:
             raise CoordError("abort restores the pre-lock even version")
-        yield from self.mapping.write(
-            self.offset, original_version.to_bytes(8, "little")
-        )
+        client = self.mapping.client
+        with client.rsan.exempt(client._rsan_actor):
+            yield from self.mapping.write(
+                self.offset, original_version.to_bytes(8, "little")
+            )
 
     def write(self, body: bytes, backoff: Backoff = None):
         """Full optimistic write cycle (generator): snapshot the

@@ -80,6 +80,7 @@ from repro.rdma.qp import QueuePair
 from repro.rdma.types import Opcode, QpState, RdmaError
 from repro.rdma.wr import SendWR
 from repro.rpc.endpoint import RpcClient, RpcRemoteError
+from repro.sanitize import rsan_for
 from repro.simnet.kernel import Simulator
 from repro.simnet.rand import derive_rng
 
@@ -124,7 +125,7 @@ class OpFuture:
         "local_mr", "done", "value", "error", "resolved_at",
         "resolve_index", "_event", "_chunk", "_remaining", "_failure",
         "_failed", "_last_wc", "_flush_ambiguous", "_attempts",
-        "trace_id", "_span",
+        "trace_id", "_span", "_rsan",
     )
 
     def __init__(self, client: "RStoreClient", mapping: "Mapping",
@@ -174,6 +175,16 @@ class OpFuture:
         else:
             self.trace_id = None
             self._span = None
+        #: sanitizer stamp: one per op, shared by every WR (including
+        #: replays) posted on its behalf
+        rsan = client.rsan
+        if rsan.enabled:
+            access_kind = ("atomic" if opcode in _ATOMIC_OPS
+                           else "read" if opcode is Opcode.RDMA_READ
+                           else "write")
+            self._rsan = rsan.op_stamp(client._rsan_actor, access_kind)
+        else:
+            self._rsan = None
 
     @property
     def is_atomic(self) -> bool:
@@ -190,6 +201,12 @@ class OpFuture:
             if parked is not None:
                 tracer.record("data.future.wait", parked,
                               trace_id=self.trace_id, op=self.kind)
+        if self._rsan is not None:
+            # the issuer just observed the completion: everything it
+            # does from here happens-after this op.  Errors ack too —
+            # the op is over either way, and stalling the watermark
+            # forever would hide unrelated later races.
+            self.client.rsan.op_acked(self._rsan)
         if self.error is not None:
             raise self.error
         return self.value
@@ -614,6 +631,11 @@ class Mapping:
                 f"region {self.name!r} was unmapped with the operation "
                 "in flight"
             ))
+        rsan = self.client.rsan
+        if rsan.enabled:
+            # this client is done with the region: drop its shadow
+            # intervals so a recycled range is never attributed to it
+            rsan.clear_region(self.desc, actor=self.client._rsan_actor)
 
     # -- blocking data path (submit + wait) ---------------------------------
 
@@ -894,6 +916,8 @@ class Mapping:
                     wire_length=(take * fut.wire_scale
                                  if fut.wire_scale != 1 else None),
                 )
+                if fut._rsan is not None:
+                    wr.rsan = fut._rsan
                 if batch is None:
                     client._pump_for(qp).submit(wr)
                 else:
@@ -931,6 +955,8 @@ class Mapping:
             compare=fut.compare,
             swap=fut.swap,
         )
+        if fut._rsan is not None:
+            wr.rsan = fut._rsan
         if batch is None:
             client._pump_for(qp).submit(wr)
         else:
@@ -1014,6 +1040,10 @@ class RStoreClient:
         self._retry_queue: deque[OpFuture] = deque()
         self._retry_wakeup = None
         self._resolve_seq = 0
+        #: sanitizer context (no-op unless ``config.sanitize``); one
+        #: actor per client host
+        self.rsan = rsan_for(sim)
+        self._rsan_actor = nic.host.host_id
         # -- observability: registry instruments labelled by host; the
         # legacy attribute names live on as read-only properties
         self.obs = obs_for(sim)
@@ -1078,6 +1108,13 @@ class RStoreClient:
 
     def _master_call(self, method: str, *args):
         self._m_master_calls.inc()
+        rsan = self.rsan
+        if rsan.enabled:
+            # every control RPC serializes through the single-threaded
+            # master: model it as one coarse release/acquire key.  This
+            # over-synchronizes (false negatives only) but keeps the
+            # control path free of false positives.
+            rsan.sync_release(self._rsan_actor, ("master",))
         span = self.obs.tracer.span(f"control.master.{method}",
                                     kind="control",
                                     host=self.nic.host.host_id)
@@ -1087,6 +1124,8 @@ class RStoreClient:
             span.finish(ok=False)
             raise _translated(exc) from None
         span.finish()
+        if rsan.enabled:
+            rsan.sync_acquire(self._rsan_actor, ("master",))
         return result
 
     def alloc(self, name: str, size: int, stripe_size: Optional[int] = None,

@@ -84,6 +84,10 @@ class RStoreConfig:
     #: ablation (E9): route data operations through the server CPU with
     #: two-sided messaging instead of one-sided RDMA
     two_sided_data_path: bool = False
+    #: enable RSan, the happens-before race sanitizer for one-sided
+    #: accesses (see repro.sanitize) — opt-in; the default path stays
+    #: zero-cost and bit-identical with the flag off
+    sanitize: bool = False
 
     #: service ids on the fabric
     master_service: str = "rstore-master"

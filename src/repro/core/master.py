@@ -32,6 +32,7 @@ from repro.obs import obs_for
 from repro.rdma.cm import ConnectionManager
 from repro.rdma.nic import RNic
 from repro.rpc.endpoint import RpcClient, RpcServer
+from repro.sanitize import rsan_for
 from repro.simnet.kernel import Simulator
 
 __all__ = ["Master"]
@@ -236,7 +237,7 @@ class Master:
             for copies, length in zip(placement, lengths):
                 for host_id in copies:
                     self.allocator.release(host_id, length)
-            raise AllocationError(f"allocation of {name!r} failed: {exc}")
+            raise AllocationError(f"allocation of {name!r} failed: {exc}") from exc
 
         cursors = {h: 0 for h in by_host}
         stripes = []
@@ -322,7 +323,7 @@ class Master:
             for copies, length in zip(placement, lengths):
                 for host_id in copies:
                     self.allocator.release(host_id, length)
-            raise AllocationError(f"resize of {name!r} failed: {exc}")
+            raise AllocationError(f"resize of {name!r} failed: {exc}") from exc
         cursors = {h: 0 for h in by_host}
         new_stripes = []
         base_index = len(old_stripes)
@@ -360,6 +361,12 @@ class Master:
         for stripe in region.stripes:
             for replica in stripe.replicas:
                 self.allocator.release(replica.host_id, stripe.length)
+        rsan = rsan_for(self.sim)
+        if rsan.enabled:
+            # the bytes are back in the arena allocator: drop every
+            # shadow interval so accesses to a recycled range are never
+            # matched against the dead region's history
+            rsan.clear_region(region)
         return True
 
     def _lookup(self, name):

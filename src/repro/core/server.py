@@ -208,6 +208,9 @@ class MemoryServer:
                 remote_addr=src_addr + pos,
                 rkey=src_rkey,
             )
+            # repair copies are master-coordinated; mark them so the
+            # race sanitizer treats them as synchronized plumbing
+            wr.rsan_sync = True
             try:
                 qp.post_send(wr)
             except RdmaError as exc:

@@ -23,6 +23,7 @@ from repro.rdma.pd import ProtectionDomain
 from repro.rdma.qp import QueuePair
 from repro.rdma.types import Access, Opcode, QpState, RdmaError, WcStatus
 from repro.rdma.wr import RecvWR, SendWR
+from repro.sanitize import rsan_for
 from repro.simnet.kernel import Simulator
 from repro.simnet.topology import Host, Network
 
@@ -60,6 +61,7 @@ class RNic:
         # -- observability: registry instruments labelled by host; the
         # legacy attribute names live on as read-only properties
         self.obs = obs_for(sim)
+        self.rsan = rsan_for(sim)
         _m = self.obs.metrics
         _host = host.host_id
         self._m_ops_posted = _m.counter("rnic.ops_posted", host=_host)
@@ -185,6 +187,8 @@ class RNic:
         self._m_doorbells.inc()
         if self.obs.tracer.enabled:
             wr._obs_posted = self.sim.now
+        if self.rsan.enabled:
+            self.rsan.on_post(wr, self.host.host_id)
         model = self.model
         earliest = self.sim.now + model.doorbell_s
         processing = model.wqe_processing_s
@@ -209,6 +213,9 @@ class RNic:
         if self.obs.tracer.enabled:
             for wr in wrs:
                 wr._obs_posted = self.sim.now
+        if self.rsan.enabled:
+            for wr in wrs:
+                self.rsan.on_post(wr, self.host.host_id)
         model = self.model
         earliest = self.sim.now + model.doorbell_s
         start = max(earliest, self._engine_busy_until)
@@ -382,6 +389,9 @@ class RNic:
 
             def do_dma():
                 mr.buffer.write(mr.offset_of(wr.remote_addr), payload)
+                if remote.rsan.enabled:
+                    remote.rsan.on_apply(remote.host.host_id, wr.remote_addr,
+                                         wr.length, "write", wr)
                 if wr.opcode is Opcode.RDMA_WRITE_IMM:
                     # the immediate consumes a receive WQE at the target
                     rwr = remote_qp._take_recv()
@@ -420,6 +430,9 @@ class RNic:
 
             def do_dma():
                 data = mr.buffer.read(mr.offset_of(wr.remote_addr), wr.length)
+                if remote.rsan.enabled:
+                    remote.rsan.on_apply(remote.host.host_id, wr.remote_addr,
+                                         wr.length, "read", wr)
 
                 def on_response_arrival():
                     if wr.local_mr is not None and wr.length:
@@ -479,6 +492,9 @@ class RNic:
                         wr.local_mr.offset_of(wr.local_addr),
                         old.to_bytes(8, "little"),
                     )
+                if remote.rsan.enabled:
+                    remote.rsan.on_apply(remote.host.host_id, wr.remote_addr,
+                                         8, "atomic", wr)
                 remote._send_control(
                     self,
                     lambda: self._after(

@@ -217,11 +217,11 @@ class RpcClient:
         self.calls_made += 1
         try:
             yield from self._channel.send(request, wire_size=wire_size)
-        except ChannelClosed:
+        except ChannelClosed as exc:
             # Nobody will ever wait on the future; drop it before the
             # dispatcher fails it into the void.
             self._pending.pop(call_id, None)
-            raise RpcError("connection lost while sending the request")
+            raise RpcError("connection lost while sending the request") from exc
         if timeout is None:
             response = yield future
         else:

@@ -1,0 +1,17 @@
+"""Dynamic analysis for the simulated one-sided data path."""
+
+from repro.sanitize.rsan import (
+    Access,
+    OpStamp,
+    RaceReport,
+    RaceSanitizer,
+    rsan_for,
+)
+
+__all__ = [
+    "Access",
+    "OpStamp",
+    "RaceReport",
+    "RaceSanitizer",
+    "rsan_for",
+]

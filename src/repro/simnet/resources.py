@@ -13,6 +13,7 @@ compose with ``yield`` / ``AllOf`` / ``AnyOf`` like any other event.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Any, Optional
 
@@ -97,7 +98,7 @@ class Resource:
 class Store:
     """A FIFO of items with blocking ``get`` and optionally bounded ``put``."""
 
-    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+    def __init__(self, sim: Simulator, capacity: float = math.inf):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.sim = sim

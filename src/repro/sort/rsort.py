@@ -183,32 +183,28 @@ class RSort:
         )
         return stats
 
-    def _worker(self, rank: int, counts: dict):
-        tag = self.tag
-        host_id = self.worker_hosts[rank]
-        client = self.cluster.client(host_id)
-        cpu = self.cluster.net.host(host_id).cpu
-        workers = self.num_workers
-        model = self.model
-        slice_bytes = self.records_per_worker * RECORD_BYTES
-        logical = self.records_per_worker * self.scale
+    # -- per-worker control-path helpers (create/open/setup vocabulary;
+    # repro-lint RL001 keeps master traffic out of the phases proper) --------
 
+    def _worker_setup(self, rank: int, client, host_id: int):
+        """Open the phase barrier, place this worker's shuffle region."""
         barrier = yield from SenseBarrier.open(
-            client, f"{tag}.phase", parties=workers
+            client, f"{self.tag}.phase", parties=self.num_workers
         )
-        # Per-worker shuffle region, placed on the worker's own server.
-        expected = slice_bytes  # balanced split expectation
+        expected = self.records_per_worker * RECORD_BYTES  # balanced split
         shuffle_bytes = _HEADER + int(expected * self.shuffle_slack)
         yield from client.alloc(
-            f"{tag}.shuffle.{rank}", shuffle_bytes, preferred_host=host_id
+            f"{self.tag}.shuffle.{rank}", shuffle_bytes,
+            preferred_host=host_id,
         )
-        yield from barrier.wait()
+        return barrier
 
-        # 1. read the input slice — one batched flush pulls the striped
-        # pieces from every server under doorbell batching
-        ingest_span = client.obs.tracer.span("app.sort.ingest", kind="app",
-                                             rank=rank)
-        input_map = yield from client.map(f"{tag}.input")
+    def _load_slice(self, rank: int, client):
+        """Map the input and pull this worker's slice — one batched
+        flush reads the striped pieces from every server under
+        doorbell batching."""
+        slice_bytes = self.records_per_worker * RECORD_BYTES
+        input_map = yield from client.map(f"{self.tag}.input")
         in_mr = yield from client.alloc_local(slice_bytes)
         ingest = client.batch()
         in_fut = ingest.read_into(
@@ -217,13 +213,14 @@ class RSort:
         )
         yield from ingest.flush()
         yield from in_fut.wait()
-        records = np.frombuffer(
+        return np.frombuffer(
             in_mr.buffer.read(0, slice_bytes), dtype=np.uint8
         ).reshape(-1, RECORD_BYTES)
-        ingest_span.finish(records=len(records))
 
-        # 2. sampling -> splitters (control path via the master)
-        prefixes = key_prefix_u64(records)
+    def _prepare_splitters(self, rank: int, client, prefixes):
+        """The sampling exchange: the one master-mediated step."""
+        tag = self.tag
+        workers = self.num_workers
         rng = np.random.default_rng(self.seed + 1000 + rank)
         sample = rng.choice(
             prefixes, size=min(_SAMPLES_PER_WORKER, len(prefixes)),
@@ -241,9 +238,60 @@ class RSort:
                 for i in range(workers - 1)
             ]
             yield from client.notify(f"{tag}.splitters", quantiles)
-        splitters = np.array(
-            (yield from client.wait_note(f"{tag}.splitters")), dtype=np.uint64
+        return np.array(
+            (yield from client.wait_note(f"{tag}.splitters")),
+            dtype=np.uint64,
         )
+
+    def _open_shuffle_maps(self, client):
+        """Map every peer's shuffle region plus the staging MR."""
+        slice_bytes = self.records_per_worker * RECORD_BYTES
+        shuffle_maps = []
+        for peer in range(self.num_workers):
+            mapping = yield from client.map(f"{self.tag}.shuffle.{peer}")
+            shuffle_maps.append(mapping)
+        out_mr = yield from client.alloc_local(max(slice_bytes, 1))
+        return shuffle_maps, out_mr
+
+    def _alloc_merge_buffer(self, client, nbytes: int):
+        """A local MR sized for this worker's shuffle partition."""
+        mr = yield from client.alloc_local(nbytes)
+        return mr
+
+    def _setup_output(self, rank: int, client, host_id: int,
+                      out_bytes: int, staging_bytes: int):
+        """Place and map the sorted-run output region (+ staging MR)."""
+        yield from client.alloc(
+            f"{self.tag}.out.{rank}", out_bytes, preferred_host=host_id
+        )
+        out_map = yield from client.map(f"{self.tag}.out.{rank}")
+        final_mr = None
+        if staging_bytes:
+            final_mr = yield from client.alloc_local(staging_bytes)
+        return out_map, final_mr
+
+    def _worker(self, rank: int, counts: dict):
+        tag = self.tag
+        host_id = self.worker_hosts[rank]
+        client = self.cluster.client(host_id)
+        cpu = self.cluster.net.host(host_id).cpu
+        workers = self.num_workers
+        model = self.model
+        logical = self.records_per_worker * self.scale
+
+        barrier = yield from self._worker_setup(rank, client, host_id)
+        yield from barrier.wait()
+
+        # 1. read the input slice
+        ingest_span = client.obs.tracer.span("app.sort.ingest", kind="app",
+                                             rank=rank)
+        records = yield from self._load_slice(rank, client)
+        ingest_span.finish(records=len(records))
+
+        # 2. sampling -> splitters (control path via the master)
+        prefixes = key_prefix_u64(records)
+        splitters = yield from self._prepare_splitters(rank, client,
+                                                       prefixes)
 
         # 3. partition
         yield from cpu.run(model.partition_cost(logical))
@@ -252,11 +300,7 @@ class RSort:
         # 4. one-sided shuffle: FAA-reserve, then RDMA-write
         shuffle_span = client.obs.tracer.span("app.sort.shuffle", kind="app",
                                               rank=rank)
-        shuffle_maps = []
-        for peer in range(workers):
-            mapping = yield from client.map(f"{tag}.shuffle.{peer}")
-            shuffle_maps.append(mapping)
-        out_mr = yield from client.alloc_local(max(slice_bytes, 1))
+        shuffle_maps, out_mr = yield from self._open_shuffle_maps(client)
         # rotated destination order: if every worker walked peers
         # 0,1,2,... in lockstep the whole cluster would incast one
         # receiver at a time; starting at rank+1 spreads the load
@@ -301,7 +345,7 @@ class RSort:
         nbytes = int.from_bytes(tail, "little")
         my_records = np.empty((0, RECORD_BYTES), dtype=np.uint8)
         if nbytes:
-            recv_mr = yield from client.alloc_local(nbytes)
+            recv_mr = yield from self._alloc_merge_buffer(client, nbytes)
             merge = client.batch()
             m_fut = merge.read_into(
                 own, recv_mr, recv_mr.addr, _HEADER, nbytes,
@@ -318,14 +362,13 @@ class RSort:
 
         # 6. write the sorted run to a local output region
         out_bytes = max(len(my_records) * RECORD_BYTES, 1)
-        yield from client.alloc(
-            f"{tag}.out.{rank}", out_bytes, preferred_host=host_id
+        out_map, final_mr = yield from self._setup_output(
+            rank, client, host_id, out_bytes,
+            len(my_records) * RECORD_BYTES,
         )
-        out_map = yield from client.map(f"{tag}.out.{rank}")
         if len(my_records):
             blob = my_records.tobytes()
             yield from cpu.copy(len(blob))
-            final_mr = yield from client.alloc_local(len(blob))
             final_mr.buffer.write(0, blob)
             yield from out_map.write_from(
                 final_mr, final_mr.addr, 0, len(blob), wire_scale=self.scale

@@ -11,6 +11,7 @@ scenarios without writing simulation code:
 * ``kv``                  — the one-sided KV table vs a sockets KV
 * ``stats``               — traced run: per-layer latency + call census
 * ``trace``               — traced run: the raw span timeline
+* ``lint``                — repro-lint: check repo invariants (RL001-4)
 
 All numbers printed are simulated time/throughput.
 """
@@ -314,6 +315,12 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.tools import lint
+
+    return lint.main([str(p) for p in args.paths])
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -360,6 +367,11 @@ def main(argv=None) -> int:
         if name == "trace":
             p.add_argument("--limit", type=int, default=60,
                            help="spans to print")
+
+    p = sub.add_parser("lint", help="repro-lint: repo invariant checks")
+    p.add_argument("paths", nargs="*",
+                   help="files or directories (default: src/repro, "
+                        "examples, benchmarks)")
 
     args = parser.parse_args(argv)
     handler = globals()[f"cmd_{args.command}"]

@@ -1,0 +1,344 @@
+"""repro-lint: AST checks for invariants ruff cannot express.
+
+Four rule families, each guarding a design contract of this repo:
+
+* **RL001 — control-path isolation.**  Data-path modules (any file
+  under a ``coord``, ``graph``, ``sort`` or ``kv`` directory) must not
+  import master/RPC machinery, and may call control-path client
+  methods (``alloc``, ``map``, ``lookup``, ``free``, …) only from
+  functions whose name marks them as setup/teardown (``create``,
+  ``open``, ``load``, ``prepare``, …).  This is the paper's separation
+  thesis as a lint rule: steady-state code stays one-sided.
+* **RL002 — simulation determinism.**  No wall-clock reads
+  (``time.time()`` and friends) and no draws from the process-global
+  ``random`` module (or unseeded ``random.Random()`` / numpy
+  generators) outside ``simnet/``.  Every source of nondeterminism
+  must flow through the simulator's seeded streams, or seeded replay
+  breaks.
+* **RL003 — no dropped futures.**  A bare expression statement whose
+  value is a ``*_async`` call throws the :class:`OpFuture` away:
+  nobody will ever observe its error, and (to the race sanitizer) the
+  op never happens-before anything.  Store it, await it, or batch it.
+* **RL004 — instrument naming.**  Metric and span names follow the
+  ``layer.noun_verb`` registry convention with a known first segment,
+  so dashboards and ``report.py`` groupers keep working.
+
+Findings print as ``path:line: RLxxx message``; the process exits
+nonzero if any survive.  Suppress a deliberate finding with a trailing
+``# repro-lint: allow[RLxxx]`` comment on the flagged line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+
+__all__ = ["Violation", "lint_file", "lint_paths", "main"]
+
+#: path segments marking one-sided data-path packages (RL001 scope)
+DATA_PATH_SEGMENTS = {"coord", "graph", "sort", "kv"}
+
+#: imports of these modules are master/RPC machinery (RL001)
+FORBIDDEN_IMPORTS = ("repro.rpc", "repro.core.master")
+
+#: method names that are control-path calls on a client/master handle
+CONTROL_METHODS = {
+    "alloc", "map", "lookup", "free", "resize", "barrier", "allreduce",
+    "notify", "wait_note", "list_regions", "alloc_local", "_master_call",
+}
+
+#: a function may use the control path if its (or any enclosing
+#: function's) name contains one of these tokens — the create/open/
+#: setup/teardown vocabulary of this codebase
+CONTROL_FUNC_TOKENS = (
+    "create", "open", "alloc", "map", "setup", "load", "prepare",
+    "boot", "start", "close", "free", "collect", "init", "fetch",
+)
+
+#: wall-clock reads on the ``time`` module (RL002)
+WALL_CLOCK_FUNCS = {
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns",
+}
+
+#: draws on the process-global ``random`` module (RL002)
+RANDOM_DRAWS = {
+    "random", "randint", "randrange", "randbytes", "getrandbits",
+    "choice", "choices", "shuffle", "sample", "uniform", "gauss",
+    "normalvariate", "expovariate", "betavariate", "triangular",
+}
+
+#: registry/tracer methods whose first argument is an instrument name
+INSTRUMENT_METHODS = {"counter", "gauge", "histogram", "span", "record",
+                      "event"}
+
+#: allowed first segments of an instrument name (``layer.noun_verb``)
+LAYERS = {
+    "app", "client", "control", "coord", "data", "graph", "kv",
+    "master", "obs", "rnic", "rpc", "rsan", "sim", "sort", "span",
+}
+
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+_PREFIX_RE = re.compile(r"^[a-z0-9_.]+$")
+_ALLOW_RE = re.compile(r"#\s*repro-lint:\s*allow\[([A-Z0-9, ]+)\]")
+
+
+class Violation:
+    """One finding: a file, a line, a rule id, and what went wrong."""
+
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def _attr_name(func) -> str:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _dotted(node) -> str:
+    """``a.b.c`` for an attribute chain rooted at a Name, else ""."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _unwrap_awaitable(node):
+    """The call inside ``await x()`` / ``yield from x()`` / ``x()``."""
+    if isinstance(node, ast.Await):
+        return _unwrap_awaitable(node.value)
+    if isinstance(node, (ast.YieldFrom, ast.Yield)):
+        return _unwrap_awaitable(node.value) if node.value else None
+    if isinstance(node, ast.Call):
+        return node
+    return None
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: Path, rel: str):
+        self.rel = rel
+        parts = set(path.parts)
+        self.data_path = bool(parts & DATA_PATH_SEGMENTS)
+        self.in_simnet = "simnet" in parts
+        self.func_stack: list[str] = []
+        self.violations: list[Violation] = []
+
+    def flag(self, node, rule: str, message: str):
+        self.violations.append(
+            Violation(self.rel, getattr(node, "lineno", 1), rule, message)
+        )
+
+    # -- function context -----------------------------------------------------
+
+    def visit_FunctionDef(self, node):
+        self.func_stack.append(node.name)
+        self.generic_visit(node)
+        self.func_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def _in_control_func(self) -> bool:
+        return any(
+            token in name.lower()
+            for name in self.func_stack
+            for token in CONTROL_FUNC_TOKENS
+        )
+
+    # -- RL001: imports -------------------------------------------------------
+
+    def visit_Import(self, node):
+        if self.data_path:
+            for alias in node.names:
+                if alias.name.startswith(FORBIDDEN_IMPORTS):
+                    self.flag(node, "RL001",
+                              f"data-path module imports {alias.name!r} "
+                              "(master/RPC machinery)")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node):
+        if self.data_path and node.module:
+            if node.module.startswith(FORBIDDEN_IMPORTS):
+                self.flag(node, "RL001",
+                          f"data-path module imports from {node.module!r} "
+                          "(master/RPC machinery)")
+        self.generic_visit(node)
+
+    # -- RL003: dropped futures ----------------------------------------------
+
+    def visit_Expr(self, node):
+        call = _unwrap_awaitable(node.value)
+        if call is not None:
+            name = _attr_name(call.func)
+            if name.endswith("_async"):
+                self.flag(node, "RL003",
+                          f"result of {name}() is discarded — the future "
+                          "must be stored, awaited, or batched")
+        self.generic_visit(node)
+
+    # -- calls: RL001 / RL002 / RL004 ----------------------------------------
+
+    def visit_Call(self, node):
+        name = _attr_name(node.func)
+        dotted = _dotted(node.func)
+
+        # RL001: control-path calls from steady-state data-path code
+        if (self.data_path and name in CONTROL_METHODS
+                and isinstance(node.func, ast.Attribute)
+                and not self._in_control_func()):
+            where = (f"function {self.func_stack[-1]!r}" if self.func_stack
+                     else "module level")
+            self.flag(node, "RL001",
+                      f"control-path call .{name}() from {where} — move it "
+                      "into a create/open/setup-style function")
+
+        # RL002: nondeterminism outside simnet/
+        if not self.in_simnet:
+            root, _, leaf = dotted.rpartition(".")
+            if root == "time" and leaf in WALL_CLOCK_FUNCS:
+                self.flag(node, "RL002",
+                          f"wall-clock read {dotted}() — use the simulated "
+                          "clock (sim.now)")
+            elif root == "random" and leaf in RANDOM_DRAWS:
+                self.flag(node, "RL002",
+                          f"draw from the process-global RNG {dotted}() — "
+                          "use a seeded stream (simnet.rand.derive_rng)")
+            elif dotted == "random.Random" and not node.args:
+                self.flag(node, "RL002",
+                          "unseeded random.Random() — pass an explicit "
+                          "seed derived from the config")
+            elif leaf == "default_rng" and not node.args:
+                self.flag(node, "RL002",
+                          "unseeded numpy default_rng() — pass an explicit "
+                          "seed derived from the config")
+            elif ((root.endswith("np.random") or root == "numpy.random")
+                    and leaf != "default_rng"):
+                self.flag(node, "RL002",
+                          f"draw from numpy's global RNG {dotted}() — use "
+                          "a seeded Generator")
+
+        # RL004: instrument naming
+        if name in INSTRUMENT_METHODS and isinstance(node.func,
+                                                     ast.Attribute):
+            self._check_instrument_name(node)
+
+        self.generic_visit(node)
+
+    def _check_instrument_name(self, node):
+        if not node.args:
+            return
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            self._check_name_text(node, first.value, full=True)
+        elif isinstance(first, ast.JoinedStr) and first.values:
+            lead = first.values[0]
+            if isinstance(lead, ast.Constant) and isinstance(lead.value, str):
+                # an f-string: validate the leading constant prefix only
+                self._check_name_text(node, lead.value, full=False)
+
+    def _check_name_text(self, node, text: str, full: bool):
+        ok = (_NAME_RE.fullmatch(text) if full
+              else _PREFIX_RE.fullmatch(text) and "." in text)
+        segment = text.split(".", 1)[0]
+        if not ok:
+            self.flag(node, "RL004",
+                      f"instrument name {text!r} does not follow the "
+                      "layer.noun_verb convention")
+        elif segment not in LAYERS:
+            self.flag(node, "RL004",
+                      f"instrument name {text!r} starts with unknown layer "
+                      f"{segment!r} (known: {', '.join(sorted(LAYERS))})")
+
+
+def _suppressed(violation: Violation, lines: list[str]) -> bool:
+    if not 1 <= violation.line <= len(lines):
+        return False
+    match = _ALLOW_RE.search(lines[violation.line - 1])
+    if match is None:
+        return False
+    allowed = {rule.strip() for rule in match.group(1).split(",")}
+    return violation.rule in allowed
+
+
+def lint_file(path: Path, root: Path = None) -> list[Violation]:
+    """Lint one Python file; returns its surviving violations."""
+    try:
+        source = path.read_text()
+    except OSError as exc:
+        return [Violation(str(path), 1, "RL000", f"unreadable: {exc}")]
+    try:
+        rel = str(path.relative_to(root)) if root else str(path)
+    except ValueError:
+        rel = str(path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Violation(rel, exc.lineno or 1, "RL000",
+                          f"syntax error: {exc.msg}")]
+    checker = _Checker(path, rel)
+    checker.visit(tree)
+    lines = source.splitlines()
+    return [v for v in checker.violations if not _suppressed(v, lines)]
+
+
+def default_paths(root: Path) -> list[Path]:
+    """The tree-wide lint scope: library, examples and benchmarks.
+
+    Tests are out of scope by default — ``tests/lint/`` holds fixture
+    files that *must* violate the rules.
+    """
+    return [p for p in (root / "src" / "repro", root / "examples",
+                        root / "benchmarks") if p.exists()]
+
+
+def lint_paths(paths: list[Path], root: Path = None) -> list[Violation]:
+    """Lint files and directories (recursively); returns all findings."""
+    violations: list[Violation] = []
+    for path in paths:
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in files:
+            violations.extend(lint_file(file, root=root))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="check repo invariants ruff cannot express",
+    )
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories (default: src/repro, "
+                             "examples, benchmarks)")
+    args = parser.parse_args(argv)
+    root = Path.cwd()
+    paths = args.paths or default_paths(root)
+    violations = lint_paths(paths, root=root)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"repro-lint: {len(violations)} violation(s)")
+        return 1
+    print("repro-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI
+    sys.exit(main())

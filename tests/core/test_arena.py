@@ -37,7 +37,7 @@ def test_reservations_do_not_overlap():
         addr = arena.reserve(100)
         spans.append((addr, addr + 100))
     spans.sort()
-    for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+    for (_s1, e1), (s2, _e2) in zip(spans, spans[1:]):
         assert e1 <= s2
 
 

@@ -68,7 +68,7 @@ def test_partition_ranges_cover_everything():
     parts = partition_ranges(10, 3)
     assert parts[0][0] == 0
     assert parts[-1][1] == 10
-    for (l1, h1), (l2, _h2) in zip(parts, parts[1:]):
+    for (_l1, h1), (l2, _h2) in zip(parts, parts[1:]):
         assert h1 == l2
 
 

@@ -24,6 +24,7 @@ import random
 from repro.cluster import build_cluster
 from repro.core import RStoreConfig
 from repro.obs import obs_for
+from repro.sanitize import rsan_for
 from repro.simnet.config import KiB, MiB
 
 #: the pinned seed matrix (CI runs these plus one random seed)
@@ -143,11 +144,15 @@ def apply_to_model(model: bytearray, op):
 # -- execution ----------------------------------------------------------------
 
 
-def run_schedule(seed: int, trace: bool = False, groups: int = 24) -> dict:
+def run_schedule(seed: int, trace: bool = False, groups: int = 24,
+                 sanitize: bool = False) -> dict:
     """Build a cluster, run the seed's schedule, check every result.
 
     Returns a digest (op results, final bytes, final simulated time,
-    span count) so callers can compare two runs of the same seed.
+    span count, race count) so callers can compare two runs of the
+    same seed.  ``sanitize=True`` runs the whole schedule under RSan;
+    the single sequential client is race-free by construction, so any
+    report is a sanitizer bug.
     """
     rng = random.Random(seed)
     stripe = rng.choice((8, 16)) * KiB
@@ -156,12 +161,13 @@ def run_schedule(seed: int, trace: bool = False, groups: int = 24) -> dict:
 
     cluster = build_cluster(
         num_machines=4,
-        config=RStoreConfig(stripe_size=stripe),
+        config=RStoreConfig(stripe_size=stripe, sanitize=sanitize),
         server_capacity=16 * MiB,
     )
     tracer = obs_for(cluster.sim).tracer
     if trace:
         tracer.enable()
+    rsan = rsan_for(cluster.sim)
     client = cluster.client(1)
     model = bytearray(region_size)
     results: list = []
@@ -216,10 +222,16 @@ def run_schedule(seed: int, trace: bool = False, groups: int = 24) -> dict:
     assert bytes(final) == bytes(model), (
         f"seed {seed}: final readback diverged from the reference model"
     )
+    if sanitize:
+        assert not rsan.races, (
+            f"seed {seed}: sanitizer reported races on a race-free "
+            f"schedule:\n{rsan.report()}"
+        )
     return {
         "results": results,
         "final": bytes(final),
         "now": cluster.sim.now,
         "ops": sum(len(ops) for _, ops in schedule),
         "spans": len(tracer.spans),
+        "races": len(rsan.races),
     }

@@ -61,7 +61,7 @@ def test_distributed_pagerank_matches_sequential(scale, edge_factor,
 
     n = graph.num_vertices
     x = program.initial(graph, 0, n)
-    for iteration in range(4):
+    for _ in range(4):
         x, _changed = program.apply(graph, x, 0, n)
     np.testing.assert_allclose(stats.values, x, rtol=1e-12)
 

@@ -1,0 +1,21 @@
+"""RL001 fixture: a data-path module (lives under ``coord/``) that
+imports master/RPC machinery and uses the control path at steady state.
+Never imported — repro-lint parses it as text.  ``# -> RLxxx`` markers
+name the expected finding on that line (parsed by ``test_lint.py``).
+"""
+
+from repro.rpc import RpcChannel            # -> RL001
+import repro.core.master                    # -> RL001
+
+
+def hot_loop(client):
+    # steady-state function name carries no create/open/setup token
+    desc = yield from client.lookup("x")    # -> RL001
+    mapping = yield from client.map(desc)   # -> RL001
+    return mapping
+
+
+def open_queue(client):
+    # a create/open-style function MAY use the control path: no finding
+    yield from client.alloc("q", 4096)
+    return (yield from client.map("q"))

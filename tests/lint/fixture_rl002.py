@@ -1,0 +1,19 @@
+"""RL002 fixture: wall-clock and global-RNG nondeterminism outside
+``simnet/``.  Never imported — repro-lint parses it as text.
+``# -> RLxxx`` markers name the expected finding on that line."""
+
+import random
+import time
+
+
+def stamp():
+    started = time.time()                   # -> RL002
+    elapsed = time.monotonic()              # -> RL002
+    return started, elapsed
+
+
+def jitter():
+    backoff = random.random()               # -> RL002
+    rng = random.Random()                   # -> RL002
+    allowed = random.random()  # repro-lint: allow[RL002]
+    return backoff, rng, allowed

@@ -1,0 +1,14 @@
+"""RL003 fixture: futures from ``*_async`` calls thrown away.  Never
+imported — repro-lint parses it as text.  ``# -> RLxxx`` markers name
+the expected finding on that line."""
+
+
+def fire_and_forget(mapping, payload):
+    yield from mapping.write_async(0, payload)  # -> RL003
+    mapping.faa_async(0, 1)                     # -> RL003
+
+
+def batched(mapping, payload):
+    # stored future: no finding
+    fut = yield from mapping.write_async(0, payload)
+    yield from fut.wait()

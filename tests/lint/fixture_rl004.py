@@ -1,0 +1,11 @@
+"""RL004 fixture: instrument names off the ``layer.noun_verb``
+registry convention.  Never imported — repro-lint parses it as text.
+``# -> RLxxx`` markers name the expected finding on that line."""
+
+
+def measure(metrics, tracer, n):
+    metrics.counter("requests")                       # -> RL004
+    metrics.gauge("warp.queue_depth").set(n)          # -> RL004
+    with tracer.span("data.SortPhase", kind="data"):  # -> RL004
+        pass
+    metrics.counter("kv.get_total").add(1)  # fine: known layer

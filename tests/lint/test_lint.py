@@ -1,0 +1,87 @@
+"""repro-lint against its fixtures and against the tree.
+
+Each ``fixture_*.py`` file plants known violations, marked in-line
+with ``# -> RLxxx`` comments; the test derives the expected
+``(line, rule)`` set from those markers, so fixtures can be edited
+without chasing hard-coded line numbers.  The tree itself (the
+linter's default scope) must be clean — that is the satellite
+guarantee that every pre-existing violation got fixed, and CI's
+``lint-invariants`` job re-checks it on every push.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.tools import lint
+
+HERE = Path(__file__).parent
+REPO = HERE.parent.parent
+_MARKER = re.compile(r"#\s*->\s*(RL\d{3})")
+
+FIXTURES = {
+    "RL001": HERE / "coord" / "fixture_rl001.py",
+    "RL002": HERE / "fixture_rl002.py",
+    "RL003": HERE / "fixture_rl003.py",
+    "RL004": HERE / "fixture_rl004.py",
+}
+
+
+def _expected(path: Path) -> set[tuple[int, str]]:
+    return {
+        (lineno, match.group(1))
+        for lineno, text in enumerate(path.read_text().splitlines(), 1)
+        for match in [_MARKER.search(text)]
+        if match
+    }
+
+
+@pytest.mark.parametrize("rule", sorted(FIXTURES))
+def test_fixture_findings_match_markers(rule):
+    path = FIXTURES[rule]
+    found = {(v.line, v.rule) for v in lint.lint_paths([path])}
+    assert found == _expected(path)
+    assert found, f"fixture for {rule} plants no violations"
+    assert {r for _, r in found} == {rule}
+
+
+@pytest.mark.parametrize("rule", sorted(FIXTURES))
+def test_cli_exits_nonzero_with_file_line_rule(rule, capsys):
+    path = FIXTURES[rule]
+    assert lint.main([str(path)]) == 1
+    out = capsys.readouterr().out
+    for line, _ in sorted(_expected(path)):
+        # paths print relative to the invocation cwd
+        assert f"{path.name}:{line}: {rule} " in out
+    assert "violation(s)" in out
+
+
+def test_cli_exits_zero_on_the_tree(capsys, monkeypatch):
+    monkeypatch.chdir(REPO)
+    assert lint.main([]) == 0
+    assert "repro-lint: clean" in capsys.readouterr().out
+
+
+def test_default_scope_covers_library_examples_benchmarks():
+    scope = {p.name for p in lint.default_paths(REPO)}
+    assert scope == {"repro", "examples", "benchmarks"}
+
+
+def test_suppression_comment_silences_one_line():
+    # fixture_rl002 carries one allow[RL002] line; prove it is the
+    # suppression doing the work by linting the same draw un-suppressed
+    src = HERE / "fixture_rl002.py"
+    text = src.read_text()
+    assert "# repro-lint: allow[RL002]" in text
+    suppressed_line = next(
+        i for i, line in enumerate(text.splitlines(), 1)
+        if "allow[RL002]" in line
+    )
+    found_lines = {v.line for v in lint.lint_paths([src])}
+    assert suppressed_line not in found_lines
+
+
+def test_violation_renders_path_line_rule():
+    v = lint.Violation("a/b.py", 7, "RL002", "wall-clock read")
+    assert str(v) == "a/b.py:7: RL002 wall-clock read"

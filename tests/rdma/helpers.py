@@ -30,7 +30,7 @@ def connected_pair(
     server: int = 1,
     server_mr_len: int = 1 << 20,
     client_mr_len: int = 1 << 20,
-    access: Access = Access.all_remote(),
+    access: Access | None = None,
     service: str = "test",
 ):
     """Generator: full control-path setup between two hosts.
@@ -38,6 +38,8 @@ def connected_pair(
     Returns a namespace with the client QP, both MRs, CQs and the
     server-side QP — everything a data-path test needs.
     """
+    if access is None:
+        access = Access.all_remote()
     cnic, snic = world.nics[client], world.nics[server]
     accepted = []
 

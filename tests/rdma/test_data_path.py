@@ -323,7 +323,7 @@ def test_send_queue_overflow_raises():
     def scenario():
         pair = yield from connected_pair(world)
         with pytest.raises(RdmaError, match="full"):
-            for i in range(pair.qp.sq_depth + 1):
+            for _ in range(pair.qp.sq_depth + 1):
                 pair.qp.post_send(write_wr(pair, 0, 8, remote_offset=0))
 
     run(world, scenario())

@@ -87,7 +87,7 @@ def test_write_imm_no_remote_cpu():
 
     def scenario():
         pair = yield from connected_pair(world)
-        for i in range(10):
+        for _ in range(10):
             pair.server_qp.post_recv(RecvWR(local_mr=pair.server_mr))
         for i in range(10):
             pair.qp.post_send(imm_write(pair, b"tick", 0, imm=i))

@@ -1,0 +1,31 @@
+"""Clean-run guarantees over the pinned harness seed matrix.
+
+Two promises, checked per seed:
+
+* the randomized schedule (single sequential client) produces **zero**
+  race reports under the sanitizer;
+* enabling the sanitizer is observationally free — results, final
+  store image, and the simulated clock are bit-identical with it on
+  and off.  RSan only reads the simulation (it keeps its own clocks in
+  vector space, never the sim's), so it must not perturb anything.
+"""
+
+import pytest
+
+from tests.harness.schedule import SEEDS, run_schedule
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_schedule_is_race_free(seed):
+    digest = run_schedule(seed, sanitize=True)
+    assert digest["races"] == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sanitizer_is_observationally_free(seed):
+    plain = run_schedule(seed, sanitize=False)
+    sanitized = run_schedule(seed, sanitize=True)
+    assert sanitized["results"] == plain["results"]
+    assert sanitized["final"] == plain["final"]
+    assert sanitized["now"] == plain["now"]
+    assert sanitized["ops"] == plain["ops"]

@@ -1,0 +1,113 @@
+"""Shadow-state teardown: unmap and free must retire RSan intervals.
+
+The arena is a first-fit free list with coalescing, so a freed
+region's addresses ARE handed to the next allocation.  Without the
+teardown hooks in ``Mapping.unmap`` and ``Master._free``, stale shadow
+records from the old region's writers would collide with the new
+region's writers — a false race on recycled bytes.
+"""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.core import RStoreConfig
+from repro.sanitize import rsan_for
+from repro.simnet.config import KiB, MiB
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster(
+        num_machines=4,
+        config=RStoreConfig(stripe_size=8 * KiB, sanitize=True),
+        server_capacity=16 * MiB,
+    )
+
+
+def _shadow_records(rsan, actor=None):
+    records = [a for accesses in rsan.shadow.values() for a in accesses]
+    if actor is not None:
+        records = [a for a in records if a.actor == actor]
+    return records
+
+
+def test_unmap_clears_only_that_clients_records(cluster):
+    rsan = rsan_for(cluster.sim)
+
+    def app():
+        c1, c2 = cluster.client(1), cluster.client(2)
+        yield from c1.alloc("shared", 64 * KiB)
+        m1 = yield from c1.map("shared")
+        m2 = yield from c2.map("shared")
+        yield from m1.write(0, b"a" * 256)
+        yield from m2.write(4096, b"b" * 256)
+        assert _shadow_records(rsan, actor=1)
+        assert _shadow_records(rsan, actor=2)
+        m1.unmap()
+        assert not _shadow_records(rsan, actor=1)
+        assert _shadow_records(rsan, actor=2)  # untouched
+        return True
+
+    cluster.run_app(app())
+    assert rsan.races == [], rsan.report()
+
+
+def test_unmap_silences_would_be_race(cluster):
+    """Behavioral check: after client 1 unmaps, client 2 may write the
+    same bytes client 1 wrote — the region handoff is via unmap, not a
+    sync edge, and the sanitizer must honor it."""
+    rsan = rsan_for(cluster.sim)
+
+    def app():
+        c1, c2 = cluster.client(1), cluster.client(2)
+        yield from c1.alloc("handoff", 64 * KiB)
+        m1 = yield from c1.map("handoff")
+        m2 = yield from c2.map("handoff")
+        yield from m1.write(0, b"a" * 256)
+        m1.unmap()
+        yield from m2.write(0, b"b" * 256)
+        return True
+
+    cluster.run_app(app())
+    assert rsan.races == [], rsan.report()
+
+
+def test_free_and_realloc_recycled_range_is_silent(cluster):
+    rsan = rsan_for(cluster.sim)
+
+    def app():
+        c1, c2, c3 = (cluster.client(i) for i in (1, 2, 3))
+        yield from c1.alloc("a", 64 * KiB)
+        m2 = yield from c2.map("a")
+        yield from m2.write(0, b"x" * 8192)
+        assert _shadow_records(rsan)
+        yield from c1.free("a")
+        assert not _shadow_records(rsan)  # _free swept every actor
+        # first-fit: "b" reuses the exact address range "a" occupied
+        yield from c1.alloc("b", 64 * KiB)
+        m3 = yield from c3.map("b")
+        yield from m3.write(0, b"y" * 8192)
+        return True
+
+    cluster.run_app(app())
+    assert rsan.races == [], rsan.report()
+
+
+def test_race_before_free_is_still_kept(cluster):
+    """Teardown retires *shadow* state, not already-filed reports."""
+    rsan = rsan_for(cluster.sim)
+
+    def app():
+        c1, c2 = cluster.client(1), cluster.client(2)
+        yield from c1.alloc("r", 64 * KiB)
+        m1 = yield from c1.map("r")
+        m2 = yield from c2.map("r")
+        yield from m1.write(0, b"a" * 64)
+        yield from m2.write(0, b"b" * 64)
+        m1.unmap()
+        m2.unmap()
+        yield from c1.free("r")
+        return True
+
+    cluster.run_app(app())
+    assert len(rsan.races) == 1, rsan.report()
