@@ -15,6 +15,7 @@ from typing import Iterable, Optional
 from repro.core.client import RStoreClient
 from repro.core.config import RStoreConfig
 from repro.core.master import Master
+from repro.core.metalog import MetaLog
 from repro.core.server import MemoryServer
 from repro.net.tcp import TcpStack
 from repro.rdma.cm import ConnectionManager
@@ -42,6 +43,12 @@ class Cluster:
         self.nics: list[RNic] = []
         self.tcp_stacks: list[TcpStack] = []
         self.master: Optional[Master] = None
+        #: the durable metadata log — owned here so it outlives masters
+        self.metalog = MetaLog(
+            sim,
+            append_latency_s=config.metalog_append_s,
+            checkpoint_every=config.metalog_checkpoint_every,
+        )
         self.servers: dict[int, MemoryServer] = {}
         self.clients: dict[int, RStoreClient] = {}
         self.boot_time: float = 0.0
@@ -76,6 +83,35 @@ class Cluster:
     def kill_server(self, host_id: int) -> None:
         """Fail a memory server's host (NIC down, heartbeats stop)."""
         self.servers[host_id].kill()
+
+    def crash_master(self) -> None:
+        """Fail-stop the master process.
+
+        Its in-memory state is gone; only :attr:`metalog` survives.
+        Every control-plane connection is torn down so clients and
+        servers observe channel death.  The master *host* (NIC, fabric
+        link) stays up — this is a process crash, not a machine crash.
+        """
+        assert self.master is not None, "no master to crash"
+        self.master.crash()
+
+    def restart_master(self):
+        """Boot a fresh master on the same host (generator).
+
+        The new instance replays :attr:`metalog`, bumps the epoch, and
+        runs the recovery protocol (re-registration grace, straggler
+        burial, repair resumption).
+        """
+        master = Master(
+            self.sim,
+            self.nics[self.config.master_host],
+            self.cm,
+            self.config,
+            metalog=self.metalog,
+        )
+        self.master = master
+        yield from master.start()
+        return master
 
     def network_bytes(self) -> int:
         return self.net.bytes_carried
@@ -125,7 +161,8 @@ def build_cluster(
     )
 
     def boot():
-        master = Master(sim, cluster.nics[config.master_host], cm, config)
+        master = Master(sim, cluster.nics[config.master_host], cm, config,
+                        metalog=cluster.metalog)
         cluster.master = master
         yield from master.start()
         # Memory servers boot concurrently, like daemons across a rack.

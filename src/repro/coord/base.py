@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 
-from repro.core.errors import RStoreError
+from repro.core.errors import DeadlineExceededError, RStoreError
 from repro.simnet.kernel import Simulator
 from repro.simnet.rand import derive_rng
 
@@ -56,14 +56,22 @@ class Backoff:
     The jitter stream derives from the cluster seed plus a caller
     label, so contending clients spread out (no lockstep convoys on a
     contended CAS word) while whole simulations replay bit-for-bit.
+
+    An optional *deadline* (absolute simulated time) bounds the whole
+    retry loop: once it passes, :meth:`pause` raises
+    :class:`DeadlineExceededError` instead of sleeping, and a pause
+    that would overshoot it is clipped so the loop wakes exactly at
+    the deadline for its final check.
     """
 
     def __init__(self, sim: Simulator, rng: random.Random,
-                 base_s: float = 2e-6, max_s: float = 200e-6):
+                 base_s: float = 2e-6, max_s: float = 200e-6,
+                 deadline: float | None = None):
         self.sim = sim
         self.rng = rng
         self.base_s = base_s
         self.max_s = max_s
+        self.deadline = deadline
         self.attempt = 0
 
     @classmethod
@@ -79,12 +87,32 @@ class Backoff:
     def reset(self) -> None:
         self.attempt = 0
 
+    @property
+    def expired(self) -> bool:
+        """True once the deadline (if any) has passed."""
+        return self.deadline is not None and self.sim.now >= self.deadline
+
+    @property
+    def remaining(self) -> float:
+        """Seconds until the deadline; ``inf`` when unbounded."""
+        if self.deadline is None:
+            return float("inf")
+        return max(0.0, self.deadline - self.sim.now)
+
     def pause(self):
-        """Sleep one backoff step (generator); doubles up to the cap."""
+        """Sleep one backoff step (generator); doubles up to the cap.
+
+        With a deadline set, raises :class:`DeadlineExceededError` once
+        it has passed, and never sleeps beyond it.
+        """
+        if self.expired:
+            raise DeadlineExceededError(
+                f"deadline passed after {self.attempt} attempt(s)"
+            )
         self.attempt += 1
         # cap the exponent too: long poll loops push attempt into the
         # thousands, where 2**n no longer fits a float
         exponent = min(self.attempt - 1, 63)
         delay = min(self.max_s, self.base_s * (2.0 ** exponent))
         delay *= 0.5 + self.rng.random()
-        yield self.sim.timeout(delay)
+        yield self.sim.timeout(min(delay, self.remaining))

@@ -140,16 +140,26 @@ class RemoteLock:
         # publish before the CAS leaves: everything acked so far is
         # covered; ops still in flight deliberately are not
         rsan.sync_release(actor, ("lock", self.name))
+        attempts = 0
         while True:
             try:
                 with rsan.exempt(actor):
                     old = yield from self.mapping.cas(self.offset,
                                                       self.token, 0)
-            except RegionUnavailableError:
+            except RegionUnavailableError as exc:
                 with rsan.exempt(actor):
                     observed = yield from read_word(self.mapping, self.offset)
                 if observed == self.token:
-                    continue  # the CAS provably never applied: re-issue
+                    # the CAS provably never applied: re-issue, but not
+                    # forever — a server that keeps eating the CAS while
+                    # serving reads must eventually surface
+                    attempts += 1
+                    if attempts >= self.client.config.data_retry_limit:
+                        raise CoordError(
+                            f"lock {self.name!r}: release CAS failed "
+                            f"{attempts} times: {exc}"
+                        ) from exc
+                    continue
                 old = self.token  # it applied; the word moved on
             self.held = False
             if old != self.token:

@@ -37,6 +37,8 @@ class ServerSlot:
     rkey: int = 0
     alive: bool = True
     last_heartbeat: float = 0.0
+    #: cluster epoch at the server's last (re-)registration
+    epoch: int = 0
 
 
 class StripeAllocator:

@@ -64,6 +64,23 @@ class Arena:
             f"{len(self._free)} extents fits {length}"
         )
 
+    def retain(self, live_addrs) -> list[int]:
+        """Release every reservation whose address is not in *live_addrs*.
+
+        Reconciliation after a master restart: reservations whose
+        "region" record never reached the metadata log are orphans —
+        the master aborted the allocation, but this server still holds
+        the bytes.  Returns the dropped addresses (sorted), mostly for
+        tests and log lines.
+        """
+        live = set(live_addrs)
+        dropped = sorted(
+            self.base + off for off in self._live if self.base + off not in live
+        )
+        for addr in dropped:
+            self.release(addr)
+        return dropped
+
     def release(self, addr: int) -> int:
         """Free a reservation by address; returns its length."""
         off = addr - self.base

@@ -65,13 +65,18 @@ from typing import Optional, Union
 from repro.core.config import RStoreConfig
 from repro.core.errors import (
     BoundsError,
+    DeadlineExceededError,
+    MasterUnavailableError,
     NotMappedError,
+    RecoverableError,
     RegionNotFoundError,
     RegionUnavailableError,
     RStoreError,
+    StaleEpochError,
 )
 from repro.core.pool import LocalBufferPool
 from repro.core.region import RegionDesc
+from repro.coord.base import Backoff
 from repro.obs import obs_for
 from repro.rdma.cm import ConnectionManager
 from repro.rdma.memory import MemoryRegion
@@ -79,7 +84,8 @@ from repro.rdma.nic import RNic
 from repro.rdma.qp import QueuePair
 from repro.rdma.types import Opcode, QpState, RdmaError
 from repro.rdma.wr import SendWR
-from repro.rpc.endpoint import RpcClient, RpcRemoteError
+from repro.rpc.channel import ChannelClosed
+from repro.rpc.endpoint import RpcClient, RpcError, RpcRemoteError, RpcTimeout
 from repro.sanitize import rsan_for
 from repro.simnet.kernel import Simulator
 from repro.simnet.rand import derive_rng
@@ -95,6 +101,10 @@ _ERROR_TYPES = {
 }
 
 _ATOMIC_OPS = (Opcode.ATOMIC_FAA, Opcode.ATOMIC_CAS)
+
+#: control methods that legitimately park at the master (coordination
+#: rendezvous) — they get crash-tolerant redial but no deadline
+_BLOCKING_CONTROL = frozenset({"barrier", "allreduce", "wait_note"})
 
 
 def _translated(exc: RpcRemoteError) -> Exception:
@@ -122,7 +132,7 @@ class OpFuture:
     __slots__ = (
         "client", "mapping", "opcode", "kind", "offset", "length",
         "wire_scale", "fan_out", "idempotent", "compare", "swap",
-        "local_mr", "done", "value", "error", "resolved_at",
+        "local_mr", "done", "value", "error", "resolved_at", "deadline",
         "resolve_index", "_event", "_chunk", "_remaining", "_failure",
         "_failed", "_last_wc", "_flush_ambiguous", "_attempts",
         "trace_id", "_span", "_rsan",
@@ -149,6 +159,11 @@ class OpFuture:
         self.done = False
         self.value = None
         self.error: Optional[Exception] = None
+        #: absolute retry budget: once past it, no replay round starts
+        self.deadline: Optional[float] = (
+            client.sim.now + client.config.op_deadline_s
+            if client.config.op_deadline_s is not None else None
+        )
         #: simulated time the future resolved (diagnostics/tests)
         self.resolved_at: Optional[float] = None
         #: client-wide resolution sequence number — futures resolving at
@@ -263,9 +278,18 @@ class OpFuture:
         self._last_wc = wc
         if not wc.ok:
             if self._failure is None:
-                self._failure = RegionUnavailableError(
-                    f"data-path failure: {wc.status.value} {wc.detail}"
-                )
+                detail = wc.detail or ""
+                if "stale epoch" in detail:
+                    # the server's fence caught a WR stamped with a
+                    # descriptor from a previous cluster era; the retry
+                    # worker refreshes metadata immediately, no backoff
+                    self._failure = StaleEpochError(
+                        f"data-path fence: {wc.status.value} {detail}"
+                    )
+                else:
+                    self._failure = RegionUnavailableError(
+                        f"data-path failure: {wc.status.value} {detail}"
+                    )
             if piece is not None:
                 self._failed.append(piece)
         self._retire()
@@ -916,6 +940,9 @@ class Mapping:
                     wire_length=(take * fut.wire_scale
                                  if fut.wire_scale != 1 else None),
                 )
+                # stamp the descriptor's era so a server that was
+                # re-donated since we mapped can fence the access
+                wr.epoch = desc.epoch
                 if fut._rsan is not None:
                     wr.rsan = fut._rsan
                 if batch is None:
@@ -955,6 +982,7 @@ class Mapping:
             compare=fut.compare,
             swap=fut.swap,
         )
+        wr.epoch = desc.epoch
         if fut._rsan is not None:
             wr.rsan = fut._rsan
         if batch is None:
@@ -974,32 +1002,38 @@ class Mapping:
             return
         fut._resolve(fut._take_value())
 
-    def _remap_with_backoff(self, attempt: int):
+    def _remap_with_backoff(self, attempt: int, immediate: bool = False):
         """Back off, re-``lookup``, rebuild QP tables (generator).
 
         Backoff is capped exponential with deterministic jitter (the
         client's private :func:`derive_rng` stream), so concurrent
         retriers spread out yet whole simulations stay reproducible.
-        Returns the descriptor the replay should use; transient
-        control-path failures keep the current one (the next attempt
-        tries again).
+        ``immediate`` skips the sleep — a fenced (stale-epoch) op is
+        not contending for anything, its metadata is just old, so the
+        right move is to refresh right away.  Returns the descriptor
+        the replay should use; *recoverable* control-path failures keep
+        the current one (the next attempt tries again), while fatal
+        ones — deadline misses, freed regions — propagate and fail the
+        op fast.
         """
         client = self.client
         cfg = client.config
-        delay = min(
-            cfg.retry_backoff_max_s,
-            cfg.retry_backoff_base_s * (2 ** (attempt - 1)),
-        )
-        delay *= 0.5 + client._retry_rng.random()
-        yield client.sim.timeout(delay)
+        if not immediate:
+            delay = min(
+                cfg.retry_backoff_max_s,
+                cfg.retry_backoff_base_s * (2 ** (attempt - 1)),
+            )
+            delay *= 0.5 + client._retry_rng.random()
+            yield client.sim.timeout(delay)
         try:
             desc = yield from client._master_call("lookup", self.name)
         except RegionNotFoundError:
             raise  # freed under us: genuinely fatal
-        except (RStoreError, RpcRemoteError):
+        except (RecoverableError, RpcRemoteError):
             return self.desc  # transient master-side failure
         if not desc.available:
             raise RegionUnavailableError(desc.unavailable_reason)
+        client._note_epoch(desc.epoch)
         try:
             yield from client._ensure_qps(desc, self._qps)
         except RdmaError:
@@ -1040,6 +1074,9 @@ class RStoreClient:
         self._retry_queue: deque[OpFuture] = deque()
         self._retry_wakeup = None
         self._resolve_seq = 0
+        #: highest cluster epoch observed in any descriptor or stats
+        #: reply; stamped onto mutating control RPCs for fencing
+        self._epoch = 0
         #: sanitizer context (no-op unless ``config.sanitize``); one
         #: actor per client host
         self.rsan = rsan_for(sim)
@@ -1056,6 +1093,12 @@ class RStoreClient:
         self._m_pieces_replayed = _m.counter("client.pieces_replayed",
                                              host=_host)
         self._m_master_calls = _m.counter("client.master_calls", host=_host)
+        self._m_retries_fenced = _m.counter("client.retries_fenced",
+                                            host=_host)
+        self._m_deadlines_missed = _m.counter("client.deadlines_missed",
+                                              host=_host)
+        self._m_master_redials = _m.counter("client.master_redials",
+                                            host=_host)
 
     # -- metrics (registry-backed; see repro.obs) -----------------------------
 
@@ -1084,6 +1127,21 @@ class RStoreClient:
         paths keep this flat; tests assert on it."""
         return self._m_master_calls.value
 
+    @property
+    def retries_fenced(self) -> int:
+        """Retry rounds triggered by an epoch fence (stale metadata)."""
+        return self._m_retries_fenced.value
+
+    @property
+    def deadlines_missed(self) -> int:
+        """Control calls or data ops that ran out of deadline budget."""
+        return self._m_deadlines_missed.value
+
+    @property
+    def master_redials(self) -> int:
+        """Times the control channel died and was re-established."""
+        return self._m_master_redials.value
+
     def start(self):
         """Connect to the cluster (generator)."""
         self._pd = yield from self.nic.alloc_pd()
@@ -1107,6 +1165,17 @@ class RStoreClient:
     # -- control path ----------------------------------------------------------
 
     def _master_call(self, method: str, *args):
+        """One control RPC — deadline-bounded and crash-tolerant.
+
+        Ordinary control calls get ``control_deadline_s`` of total
+        budget: each attempt's RPC timeout is the time left, a dead
+        channel triggers a redial of the (possibly restarted) master,
+        and when the budget drains a typed error surfaces instead of
+        an unbounded hang — a partitioned client fails fast.
+        Coordination rendezvous (barrier/allreduce/wait_note) park at
+        the master by design, so they skip the deadline but keep the
+        bounded redial.
+        """
         self._m_master_calls.inc()
         rsan = self.rsan
         if rsan.enabled:
@@ -1118,14 +1187,107 @@ class RStoreClient:
         span = self.obs.tracer.span(f"control.master.{method}",
                                     kind="control",
                                     host=self.nic.host.host_id)
+        deadline = (None if method in _BLOCKING_CONTROL
+                    else self.sim.now + self.config.control_deadline_s)
         try:
-            result = yield from self._master.call(method, *args)
-        except RpcRemoteError as exc:
+            result = yield from self._call_with_redial(method, args, deadline)
+        except Exception:
             span.finish(ok=False)
-            raise _translated(exc) from None
+            raise
         span.finish()
         if rsan.enabled:
             rsan.sync_acquire(self._rsan_actor, ("master",))
+        return result
+
+    def _call_with_redial(self, method: str, args, deadline):
+        """The attempt loop behind :meth:`_master_call` (generator)."""
+        while True:
+            timeout = None
+            if deadline is not None:
+                timeout = deadline - self.sim.now
+                if timeout <= 0:
+                    self._m_deadlines_missed.inc()
+                    raise DeadlineExceededError(
+                        f"control call {method!r} missed its "
+                        f"{self.config.control_deadline_s}s deadline"
+                    )
+            try:
+                result = yield from self._master.call(method, *args,
+                                                      timeout=timeout)
+            except RpcTimeout:
+                self._m_deadlines_missed.inc()
+                raise DeadlineExceededError(
+                    f"control call {method!r} missed its "
+                    f"{self.config.control_deadline_s}s deadline"
+                ) from None
+            except RpcRemoteError as exc:
+                err = _translated(exc)
+                if isinstance(err, MasterUnavailableError):
+                    # a zombie handler on a crashed master refused to
+                    # commit; redial and try again
+                    yield from self._redial_master(deadline)
+                    continue
+                raise err from None
+            except (RpcError, ChannelClosed):
+                # channel death: the master crashed, or we are cut off
+                yield from self._redial_master(deadline)
+                continue
+            return result
+
+    def _redial_master(self, deadline):
+        """Re-dial the master's control service (generator).
+
+        Bounded even for deadline-less (blocking) calls — they get a
+        redial budget of ``control_deadline_s`` so a master that never
+        comes back cannot park a retry loop forever.  Raises
+        :class:`MasterUnavailableError` when the budget drains.
+        """
+        self._m_master_redials.inc()
+        cfg = self.config
+        if deadline is None:
+            deadline = self.sim.now + cfg.control_deadline_s
+        backoff = Backoff(
+            self.sim, self._retry_rng,
+            base_s=cfg.retry_backoff_base_s,
+            max_s=cfg.retry_backoff_max_s,
+            deadline=deadline,
+        )
+        while True:
+            try:
+                yield from backoff.pause()
+            except DeadlineExceededError:
+                self._m_deadlines_missed.inc()
+                raise MasterUnavailableError(
+                    "master unreachable within the control deadline"
+                ) from None
+            master = RpcClient(self.sim, self.nic, self.cm)
+            try:
+                yield from master.connect(cfg.master_host,
+                                          cfg.master_service)
+            except (RdmaError, RpcError, ChannelClosed):
+                continue
+            self._master = master
+            return
+
+    def _note_epoch(self, epoch) -> None:
+        if epoch is not None and epoch > self._epoch:
+            self._epoch = epoch
+
+    def _mutate(self, method: str, *args):
+        """Epoch-stamped mutating control call (generator).
+
+        The call carries this client's view of the cluster epoch; a
+        master that has moved on fences it with StaleEpochError.  One
+        refresh-and-retry is built in — the point of the fence is to
+        force exactly that refresh, not to fail the application.
+        """
+        try:
+            result = yield from self._master_call(method, *args, self._epoch)
+        except StaleEpochError:
+            self._m_retries_fenced.inc()
+            stats = yield from self._master_call("cluster_stats")
+            self._note_epoch(stats["epoch"])
+            result = yield from self._master_call(method, *args, self._epoch)
         return result
 
     def alloc(self, name: str, size: int, stripe_size: Optional[int] = None,
@@ -1137,14 +1299,16 @@ class RStoreClient:
         that memory server when it has capacity.  ``replication`` > 1
         keeps that many copies of each stripe on distinct servers.
         """
-        desc = yield from self._master_call(
+        desc = yield from self._mutate(
             "alloc", name, size, stripe_size, preferred_host, replication
         )
+        self._note_epoch(desc.epoch)
         return desc
 
     def lookup(self, name: str):
         """Fetch a region descriptor by name (generator)."""
         desc = yield from self._master_call("lookup", name)
+        self._note_epoch(desc.epoch)
         return desc
 
     def resize(self, name: str, new_size: int):
@@ -1153,12 +1317,13 @@ class RStoreClient:
         Existing data is untouched.  Re-map to access the added range —
         live mappings keep working for the old range only.
         """
-        desc = yield from self._master_call("resize", name, new_size)
+        desc = yield from self._mutate("resize", name, new_size)
+        self._note_epoch(desc.epoch)
         return desc
 
     def free(self, name: str):
         """Release a region cluster-wide (generator)."""
-        result = yield from self._master_call("free", name)
+        result = yield from self._mutate("free", name)
         return result
 
     def list_regions(self):
@@ -1179,6 +1344,7 @@ class RStoreClient:
         desc = region
         if isinstance(region, str):
             desc = yield from self.lookup(region)
+        self._note_epoch(desc.epoch)
         if not desc.available:
             span.finish(ok=False)
             raise RegionUnavailableError(desc.unavailable_reason)
@@ -1374,8 +1540,11 @@ class RStoreClient:
         # ``_last_wc`` is only set when a completion (good or bad) came
         # back — i.e. the request made it onto the wire; a flushed
         # atomic is just as ambiguous
+        # a fence NAK means the server refused *before* executing, so a
+        # fenced atomic is unambiguous and safe to replay
         if fut.is_atomic and not fut.idempotent and (
-                fut._last_wc is not None or fut._flush_ambiguous):
+                fut._last_wc is not None or fut._flush_ambiguous) and (
+                not isinstance(fut._failure, StaleEpochError)):
             err = RegionUnavailableError(
                 f"atomic on {mapping.name!r} failed after reaching the "
                 f"NIC ({fut._failure}); the remote side may have "
@@ -1386,6 +1555,16 @@ class RStoreClient:
             fut._fail(err)
             return
         fut._attempts += 1
+        if fut.deadline is not None and self.sim.now >= fut.deadline:
+            self._m_deadlines_missed.inc()
+            err = DeadlineExceededError(
+                f"{fut.kind} on {mapping.name!r} missed its "
+                f"{self.config.op_deadline_s}s deadline after "
+                f"{fut._attempts} attempt(s): {fut._failure}"
+            )
+            err.__cause__ = fut._failure
+            fut._fail(err)
+            return
         if fut._attempts > self.config.data_retry_limit:
             kind = ("atomic" if fut.is_atomic
                     else "write" if fut.fan_out else "read")
@@ -1440,12 +1619,18 @@ class RStoreClient:
         """
         mapping = fut.mapping
         pieces = list(dict.fromkeys(fut._failed))
+        # a fenced op holds stale metadata, not a contended resource:
+        # refresh immediately instead of backing off
+        fenced = isinstance(fut._failure, StaleEpochError)
+        if fenced:
+            self._m_retries_fenced.inc()
         fut._failed = []
         fut._failure = None
         fut._last_wc = None
         fut._flush_ambiguous = False
         try:
-            desc = yield from mapping._remap_with_backoff(fut._attempts)
+            desc = yield from mapping._remap_with_backoff(fut._attempts,
+                                                          immediate=fenced)
         except Exception as exc:
             fut._fail(exc)
             return

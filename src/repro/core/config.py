@@ -78,6 +78,26 @@ class RStoreConfig:
     #: first retry backoff; doubles per attempt (with jitter) up to the cap
     retry_backoff_base_s: float = 0.02
     retry_backoff_max_s: float = 0.3
+    #: deadline for one control-plane call (connect + RPC + bounded
+    #: reconnects); a client whose master is partitioned away fails with
+    #: :class:`~repro.core.errors.DeadlineExceededError` once this drains
+    control_deadline_s: float = 2.0
+    #: optional end-to-end deadline for one data operation (map/read/
+    #: write/atomic including every internal replay); ``None`` keeps the
+    #: attempt-count bound (``data_retry_limit``) as the only budget
+    op_deadline_s: float | None = None
+    #: simulated latency of one metadata-log append (the fsync the
+    #: master pays before acknowledging a mutating control RPC)
+    metalog_append_s: float = 5e-6
+    #: the master checkpoints its metadata and truncates the log every
+    #: this many appended records
+    metalog_checkpoint_every: int = 64
+    #: how long a restarted master waits for servers to re-register
+    #: before declaring the stragglers dead and re-queueing repairs
+    recovery_grace_s: float = 0.5
+    #: how long a server keeps re-trying to reach a crashed master
+    #: before giving up and shutting down
+    server_rejoin_deadline_s: float = 5.0
     #: ablation (E9): resolve region metadata at the master on every IO
     #: instead of caching it in the mapping
     resolve_per_io: bool = False
@@ -109,3 +129,11 @@ class RStoreConfig:
             raise ValueError("data_batch_window_per_qp must be at least 1")
         if self.retry_backoff_base_s < 0 or self.retry_backoff_max_s < 0:
             raise ValueError("retry backoff durations cannot be negative")
+        if self.control_deadline_s <= 0:
+            raise ValueError("control_deadline_s must be positive")
+        if self.op_deadline_s is not None and self.op_deadline_s <= 0:
+            raise ValueError("op_deadline_s must be positive when set")
+        if self.metalog_checkpoint_every < 1:
+            raise ValueError("metalog_checkpoint_every must be at least 1")
+        if self.recovery_grace_s < 0:
+            raise ValueError("recovery_grace_s cannot be negative")

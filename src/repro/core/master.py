@@ -6,21 +6,32 @@ reservations, and watches server leases.  It also exposes small
 synchronization primitives (barriers, notifications) that the paper's
 applications use to coordinate — all RPC, none of it ever on the data
 path.
+
+Crash recovery (see DESIGN.md "Crash recovery & fencing"): every
+mutating control RPC appends to a write-ahead :class:`MetaLog` before
+replying — the append is the commit point.  A restarted master replays
+checkpoint + log, bumps the cluster *epoch*, waits a grace period for
+servers to re-register (their arenas are intact; only the master's
+memory was lost), declares the stragglers dead, and re-queues any
+repair that was in flight.  Stale-epoch control RPCs and one-sided ops
+are fenced with :class:`StaleEpochError`.
 """
 
 from __future__ import annotations
 
-import itertools
 from typing import Optional
 
 from repro.core.allocator import ServerSlot, StripeAllocator
 from repro.core.config import RStoreConfig
 from repro.core.errors import (
     AllocationError,
+    MasterUnavailableError,
     RegionExistsError,
     RegionNotFoundError,
     RStoreError,
+    StaleEpochError,
 )
+from repro.core.metalog import MetaLog, RecoveredState
 from repro.core.region import (
     RegionDesc,
     StripeDesc,
@@ -47,6 +58,7 @@ class Master:
         nic: RNic,
         cm: ConnectionManager,
         config: Optional[RStoreConfig] = None,
+        metalog: Optional[MetaLog] = None,
     ):
         self.sim = sim
         self.nic = nic
@@ -57,18 +69,40 @@ class Master:
         )
         self.repair = RepairPlanner(self)
         self.regions: dict[str, RegionDesc] = {}
-        self._region_ids = itertools.count(1)
+        # `is not None`, not truthiness: an *empty* MetaLog is falsy
+        # (len == 0) yet is exactly the durable log a first boot must
+        # adopt so later restarts replay it
+        self.metalog = metalog if metalog is not None else MetaLog(
+            sim,
+            append_latency_s=self.config.metalog_append_s,
+            checkpoint_every=self.config.metalog_checkpoint_every,
+        )
+        #: the cluster epoch: bumped on every master recovery and every
+        #: server death; descriptors and server slots carry it, stale
+        #: holders are fenced
+        self.epoch = 0
+        self._next_region_id = 1
         self._server_rpc: dict[int, RpcClient] = {}
         self._barriers: dict[str, dict] = {}
         self._notes: dict[str, object] = {}
         self._note_waiters: dict[str, list] = {}
         self._rpc: Optional[RpcServer] = None
         self.alive = True
+        #: True between restart and the end of the re-registration grace
+        #: period; mutating RPCs park until recovery finishes
+        self.recovering = False
+        self.recovered_at: Optional[float] = None
+        self._recovery_waiters: list = []
+        self._awaiting_rejoin: set[int] = set()
         self.obs = obs_for(sim)
 
     def start(self):
-        """Boot the master (generator)."""
+        """Boot the master (generator); replays the metalog if any."""
         cfg = self.config
+        state = self.metalog.replay()
+        recovering = bool(state.regions or state.servers or state.epoch)
+        if recovering:
+            yield from self._begin_recovery(state)
         self._rpc = RpcServer(
             self.sim, self.nic, self.cm, cfg.master_service, cfg.msg_size
         )
@@ -93,7 +127,24 @@ class Master:
         yield from self._rpc.start()
         self.sim.process(self._lease_checker(), name="master-lease-checker")
         self.repair.start()
+        if recovering:
+            self.sim.process(self._finish_recovery(), name="master-recovery")
         return self
+
+    def crash(self) -> None:
+        """Fail-stop: the master process vanishes mid-flight.
+
+        In-memory state (namespace, membership, waiters) is lost; only
+        the metalog survives.  Every RPC connection is torn down so
+        peers observe channel death instead of hanging, and any handler
+        still running refuses to commit (see :meth:`_log`).
+        """
+        self.alive = False
+        if self._rpc is not None:
+            self._rpc.stop("master crashed")
+        for client in self._server_rpc.values():
+            client.abort("master crashed")
+        self._server_rpc.clear()
 
     def _counted(self, method: str, handler):
         """Wrap an RPC handler so every dispatch bumps its counter.
@@ -110,27 +161,184 @@ class Master:
 
         return wrapped
 
+    # -- the write-ahead metadata log -----------------------------------------
+
+    def _log(self, kind: str, payload):
+        """Durably append one record (generator) — the commit point.
+
+        A crashed master must not commit: a handler generator that was
+        already in flight when :meth:`crash` ran dies here instead of
+        writing a post-crash record to the durable log.
+        """
+        if not self.alive:
+            raise MasterUnavailableError("master crashed")
+        # checkpoint BEFORE appending: callers mutate in-memory state
+        # after their append returns (alloc inserts the region only once
+        # the record is durable), so a snapshot taken now covers every
+        # record already in the tail — taken after, it would miss the
+        # in-flight record yet truncate it with the tail
+        if not self.recovering:
+            yield from self.metalog.maybe_checkpoint(self._snapshot_state())
+        yield from self.metalog.append(kind, payload)
+
+    def _snapshot_state(self) -> RecoveredState:
+        return RecoveredState(
+            regions=dict(self.regions),
+            servers={
+                s.host_id: (s.capacity, s.rkey, s.epoch, s.alive)
+                for s in self.allocator.servers
+            },
+            epoch=self.epoch,
+            next_region_id=self._next_region_id,
+        )
+
+    # -- recovery -------------------------------------------------------------
+
+    def _begin_recovery(self, state: RecoveredState):
+        """Adopt replayed state and open the re-registration window."""
+        self.recovering = True
+        self.regions = state.regions
+        self._next_region_id = state.next_region_id
+        self.epoch = state.epoch + 1
+        # servers that were alive at the crash are presumed alive — their
+        # arenas are intact — but must re-register within the grace
+        # period; the inflated lease below is that grace, so the lease
+        # checker cannot race the recovery window
+        lease = self.sim.now + self.config.recovery_grace_s
+        for host_id in sorted(state.servers):
+            capacity, rkey, epoch, alive = state.servers[host_id]
+            if not alive:
+                continue
+            self.allocator.add_server(ServerSlot(
+                host_id=host_id,
+                capacity=capacity,
+                free=capacity - self._bytes_on_host(host_id),
+                rkey=rkey,
+                alive=True,
+                last_heartbeat=lease,
+                epoch=epoch,
+            ))
+            self._awaiting_rejoin.add(host_id)
+        yield from self._log("epoch", self.epoch)
+
+    def _finish_recovery(self):
+        """After the grace period: bury the stragglers, resume repair."""
+        yield self.sim.timeout(self.config.recovery_grace_s)
+        if not self.alive:
+            # crashed again mid-recovery: this instance's grace period
+            # is void, the next restart replays and re-opens its own
+            return
+        for host_id in sorted(self._awaiting_rejoin):
+            slot = self.allocator.get_server(host_id)
+            if slot is not None and slot.alive:
+                yield from self._declare_dead(
+                    slot, why="no re-registration after master recovery"
+                )
+        self._awaiting_rejoin.clear()
+        # resume in-flight repair: anything under-replicated goes back on
+        # the queue, whether it was degraded before the crash or during it
+        for name in sorted(self.regions):
+            region = self.regions[name]
+            if region.available and any(
+                s.replication < region.target_replication
+                for s in region.stripes
+            ):
+                self.repair.enqueue_degraded(region)
+        self.recovering = False
+        self.recovered_at = self.sim.now
+        self.repair._note(f"master recovered at epoch {self.epoch}")
+        waiters, self._recovery_waiters = self._recovery_waiters, []
+        for waiter in waiters:
+            waiter.succeed(True)
+
+    def _ready(self):
+        """Park mutating RPCs until recovery finishes (generator)."""
+        if self.recovering:
+            event = self.sim.event()
+            self._recovery_waiters.append(event)
+            yield event
+
+    def _fence(self, epoch) -> None:
+        """Reject a control RPC carrying a stale epoch (``None`` skips)."""
+        if epoch is not None and epoch < self.epoch:
+            raise StaleEpochError(
+                f"request epoch {epoch} is behind cluster epoch {self.epoch}"
+            )
+
+    def _bytes_on_host(self, host_id: int) -> int:
+        return sum(
+            stripe.length
+            for region in self.regions.values()
+            for stripe in region.stripes
+            for replica in stripe.replicas
+            if replica.host_id == host_id
+        )
+
     # -- membership -----------------------------------------------------------
 
-    def _register_server(self, host_id, capacity, rkey):
+    def _register_server(self, host_id, capacity, rkey, fresh=True):
         yield self.sim.timeout(0)
-        rejoining = self.allocator.get_server(host_id) is not None
-        self.allocator.add_server(
-            ServerSlot(
+        existing = self.allocator.get_server(host_id)
+        if not fresh and (existing is None or not existing.alive):
+            # The server only noticed the master's outage — but its own
+            # lease expired too (this master, or the one whose log we
+            # replayed, buried it).  Its replicas are gone from every
+            # descriptor, so a keep-my-arena rejoin would resurrect a
+            # zombie: old-epoch descriptors could then write straight
+            # into bytes repair is recycling.  Override to fresh; the
+            # reply tells the server to wipe its slate.
+            fresh = True
+        if fresh:
+            # A rebooted (or falsely declared dead) server registers with
+            # a clean slate: its replicas were already dropped from every
+            # descriptor, so it donates its full capacity again.  It is
+            # fenced at the current epoch — one-sided ops stamped with an
+            # older descriptor epoch must NAK rather than touch the
+            # recycled arena.
+            slot = ServerSlot(
                 host_id=host_id,
                 capacity=capacity,
                 free=capacity,
                 rkey=rkey,
                 alive=True,
                 last_heartbeat=self.sim.now,
+                epoch=self.epoch,
             )
+            live: list = []
+            if existing is not None:
+                self.repair._note(f"server {host_id} rejoined the cluster")
+        else:
+            # The *master* restarted; the server's arena is intact.  Its
+            # usage is recomputed from the replayed descriptors, and the
+            # reply lists every address the metadata still references so
+            # the server can drop orphaned reservations (allocations the
+            # crash aborted before their commit point).
+            prev_epoch = existing.epoch if existing is not None else self.epoch
+            slot = ServerSlot(
+                host_id=host_id,
+                capacity=capacity,
+                free=capacity - self._bytes_on_host(host_id),
+                rkey=rkey,
+                alive=True,
+                last_heartbeat=self.sim.now,
+                epoch=prev_epoch,
+            )
+            live = sorted(
+                (replica.addr, stripe.length)
+                for region in self.regions.values()
+                for stripe in region.stripes
+                for replica in stripe.replicas
+                if replica.host_id == host_id
+            )
+            self.repair._note(
+                f"server {host_id} re-registered after master recovery"
+            )
+        self.allocator.add_server(slot)
+        self._awaiting_rejoin.discard(host_id)
+        yield from self._log(
+            "server", (host_id, capacity, rkey, slot.epoch, True)
         )
-        if rejoining:
-            # A rebooted (or falsely declared dead) server rejoins with a
-            # clean slate: its replicas were already dropped from every
-            # descriptor, so it donates its full capacity again.
-            self.repair._note(f"server {host_id} rejoined the cluster")
-        return True
+        return {"epoch": slot.epoch, "live": live, "fresh": fresh}
 
     def _heartbeat(self, host_id):
         yield self.sim.timeout(0)
@@ -140,20 +348,23 @@ class Master:
             # rebooted, or a heartbeat gap made the lease checker declare
             # it dead.  Its replicas are already gone from every
             # descriptor, so recovery is simply: register again.
-            return {"needs_register": True}
+            return {"needs_register": True, "epoch": self.epoch}
         slot.last_heartbeat = self.sim.now
-        return {"needs_register": False}
+        return {"needs_register": False, "epoch": self.epoch}
 
     def _lease_checker(self):
         cfg = self.config
         while self.alive:
             yield self.sim.timeout(cfg.heartbeat_interval_s)
+            if not self.alive:
+                return
             deadline = self.sim.now - cfg.lease_timeout_s
             for slot in self.allocator.servers:
                 if slot.alive and slot.last_heartbeat < deadline:
-                    self._declare_dead(slot)
+                    yield from self._declare_dead(slot)
 
-    def _declare_dead(self, slot: ServerSlot) -> None:
+    def _declare_dead(self, slot: ServerSlot, why: str = "lease expired"):
+        """Expel a server and fence its era (generator: logs + epoch bump)."""
         slot.alive = False
         # Its reservations died with its arena: hand the capacity back so
         # the accounting is truthful if the host ever re-registers, and so
@@ -162,9 +373,12 @@ class Master:
         slot.free = slot.capacity
         self._server_rpc.pop(slot.host_id, None)
         dead = slot.host_id
-        self.repair._note(
-            f"server {dead} declared dead (lease expired)"
+        self.epoch += 1
+        yield from self._log("epoch", self.epoch)
+        yield from self._log(
+            "server", (dead, slot.capacity, slot.rkey, slot.epoch, False)
         )
+        self.repair._note(f"server {dead} declared dead ({why})")
         for region in self.regions.values():
             if not region.available:
                 continue
@@ -186,12 +400,15 @@ class Master:
                     for s in region.stripes
                 ]
                 region.version += 1
+                region.epoch = self.epoch
+                yield from self._log("region", region)
                 self.repair.enqueue_degraded(region)
             else:
                 region.available = False
                 region.unavailable_reason = (
                     f"memory server {dead} failed"
                 )
+                yield from self._log("region", region)
 
     # -- allocation ---------------------------------------------------------------
 
@@ -205,7 +422,9 @@ class Master:
         return client
 
     def _alloc(self, name, size, stripe_size=None, preferred_host=None,
-               replication=None):
+               replication=None, epoch=None):
+        self._fence(epoch)
+        yield from self._ready()
         if name in self.regions:
             raise RegionExistsError(f"region {name!r} already exists")
         stripe_size = stripe_size or self.config.stripe_size
@@ -258,24 +477,31 @@ class Master:
                            replicas=tuple(replicas))
             )
         region = RegionDesc(
-            region_id=next(self._region_ids),
+            region_id=self._next_region_id,
             name=name,
             size=size,
             stripe_size=stripe_size,
             stripes=stripes,
             target_replication=replication,
+            epoch=self.epoch,
         )
+        self._next_region_id += 1
         region.validate()
+        # commit point: if the master dies before this append, the
+        # reservations above are orphans the next re-registration drops
+        yield from self._log("region", region)
         self.regions[name] = region
         return region
 
-    def _resize(self, name, new_size):
+    def _resize(self, name, new_size, epoch=None):
         """Grow a region by appending stripes (shrinking not supported).
 
         Existing stripes — and therefore existing data and mappings —
         are untouched; the descriptor version bumps so clients know to
         re-map before touching the new range.
         """
+        self._fence(epoch)
+        yield from self._ready()
         region = self.regions.get(name)
         if region is None:
             raise RegionNotFoundError(f"no region named {name!r}")
@@ -343,12 +569,20 @@ class Master:
         region.stripes = old_stripes + new_stripes
         region.size = new_size
         region.version += 1
+        region.epoch = self.epoch
+        yield from self._log("region", region)
         return region
 
-    def _free(self, name):
+    def _free(self, name, epoch=None):
+        self._fence(epoch)
+        yield from self._ready()
         region = self.regions.pop(name, None)
         if region is None:
             raise RegionNotFoundError(f"no region named {name!r}")
+        # log the intent first: a crash mid-release leaks server-side
+        # reservations (reconciled at re-registration) instead of
+        # resurrecting a region whose arena bytes were already recycled
+        yield from self._log("free", name)
         by_host: dict[int, list[int]] = {}
         for stripe in region.stripes:
             for replica in stripe.replicas:
@@ -387,6 +621,8 @@ class Master:
             "alive_servers": len(self.allocator.alive_servers),
             "total_free": self.allocator.total_free,
             "regions": len(self.regions),
+            "epoch": self.epoch,
+            "recovering": self.recovering,
         }
 
     def _repair_status(self):

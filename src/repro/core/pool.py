@@ -72,7 +72,9 @@ class LocalBufferPool:
                 "your own registered buffer"
             )
         while True:
-            try:
+            # not a network retry: parks on an event until a chunk is
+            # released, like a condition variable
+            try:  # repro-lint: allow[RL005]
                 addr = self._arena.reserve(length)
             except OutOfMemoryError:
                 event = self.sim.event()

@@ -105,6 +105,10 @@ class RegionDesc:
     #: the replication factor requested at allocation time; the repair
     #: planner drives every stripe back to this many copies
     target_replication: int = 1
+    #: cluster epoch the descriptor was last written at — stamped onto
+    #: one-sided ops so servers that re-registered at a newer epoch can
+    #: fence stale accessors (see DESIGN.md "Crash recovery & fencing")
+    epoch: int = 0
 
     @property
     def hosts(self) -> tuple[int, ...]:

@@ -30,6 +30,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from repro.core.errors import FatalError, MasterUnavailableError
 from repro.core.region import StripeReplica
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -144,6 +145,13 @@ class RepairPlanner:
             task = self._queue.popleft()
             try:
                 yield from self._repair_stripe(task)
+            except MasterUnavailableError:
+                return  # this master crashed; its workers die with it
+            except FatalError as exc:
+                # protocol misuse or unrecoverable state — a retry
+                # would hit the exact same wall, so don't spend them
+                self._stats.abandoned += 1
+                self._note(f"abandoned {task}: fatal: {exc}")
             except Exception as exc:  # noqa: BLE001 - workers must survive
                 self._retry_or_abandon(task, str(exc))
 
@@ -247,10 +255,19 @@ class RepairPlanner:
             self._retry_or_abandon(task, "cluster changed during the copy")
             return
 
-        # Atomic swap: one assignment at one simulated instant.
+        # Atomic swap: one assignment at one simulated instant.  The
+        # descriptor moves to the current epoch so ops against the new
+        # replica clear the fence of a freshly re-donated server.
         replica = StripeReplica(host_id=target, addr=addr, rkey=rkey)
         region.stripes[task.stripe_index] = stripe.with_replica(replica)
         region.version += 1
+        region.epoch = self.master.epoch
+        # Commit the swap to the metalog: a restarted master must not
+        # forget a replica clients may already have seen via lookup.
+        # (A crash inside the append window forgets it — harmless, the
+        # surviving replicas still hold the data and the orphaned
+        # reservation is reclaimed at re-registration.)
+        yield from self.master._log("region", region)
         self._stats.repaired += 1
         self._note(
             f"re-replicated stripe {stripe.index} of {region.name!r} "

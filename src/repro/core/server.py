@@ -23,13 +23,16 @@ from typing import Optional
 
 from repro.core.arena import Arena
 from repro.core.config import RStoreConfig
-from repro.core.errors import RStoreError
+from repro.core.errors import DeadlineExceededError, RStoreError
+from repro.coord.base import Backoff
 from repro.rdma.cm import ConnectionManager
 from repro.rdma.nic import RNic
 from repro.rdma.types import Access, Opcode, QpState, RdmaError
 from repro.rdma.wr import SendWR
-from repro.rpc.endpoint import RpcClient, RpcRemoteError, RpcServer
+from repro.rpc.channel import ChannelClosed
+from repro.rpc.endpoint import RpcClient, RpcError, RpcRemoteError, RpcServer
 from repro.simnet.kernel import Simulator
+from repro.simnet.rand import derive_rng
 
 __all__ = ["MemoryServer"]
 
@@ -126,9 +129,7 @@ class MemoryServer:
 
         self._master = RpcClient(self.sim, self.nic, self.cm)
         yield from self._master.connect(cfg.master_host, cfg.master_service)
-        yield from self._master.call(
-            "register_server", self.host_id, self.capacity, self.arena_mr.rkey
-        )
+        yield from self._register(fresh=True)
         self.alive = True
         self.sim.process(self._heartbeat_loop(), name=f"hb-{self.host_id}")
         return self
@@ -263,21 +264,102 @@ class MemoryServer:
                 yield self.sim.timeout(extra_delay)
                 if not self.alive:
                     return
+            unreachable = False
             try:
-                reply = yield from self._master.call("heartbeat", self.host_id)
-            except RpcRemoteError:
-                # transient master-side failure (e.g. injected fault):
-                # the master is up, so just try again next period
-                yield self.sim.timeout(self.config.heartbeat_interval_s)
+                # the timeout matters under one-way partitions: the
+                # heartbeat arrives but the reply never comes back, and
+                # without a bound this loop would hang forever
+                reply = yield from self._master.call(
+                    "heartbeat", self.host_id,
+                    timeout=self.config.lease_timeout_s,
+                )
+            except RpcRemoteError as exc:
+                if exc.error_type != "MasterUnavailableError":
+                    # transient master-side failure (e.g. injected
+                    # fault): the master is up, so try again next period
+                    yield self.sim.timeout(self.config.heartbeat_interval_s)
+                    continue
+                unreachable = True
+            except (RpcError, ChannelClosed, RdmaError):
+                unreachable = True
+            if unreachable:
+                # channel death, a timed-out call, or a crashed master:
+                # rejoin within the deadline or stand down for good
+                if not (yield from self._rejoin_master()):
+                    self.alive = False
+                    return
                 continue
-            except Exception:
-                return  # master unreachable; nothing useful left to do
             if isinstance(reply, dict) and reply.get("needs_register"):
                 try:
                     yield from self._reregister()
-                except Exception:
-                    return
+                except (RpcError, ChannelClosed, RdmaError):
+                    if not (yield from self._rejoin_master()):
+                        self.alive = False
+                        return
+                    continue
             yield self.sim.timeout(self.config.heartbeat_interval_s)
+
+    def _register(self, fresh: bool):
+        """Announce our donation to the master (generator).
+
+        A *fresh* registration donates a clean arena; the epoch in the
+        reply becomes this NIC's fence, so one-sided ops stamped with
+        descriptors from an older era bounce instead of touching
+        recycled bytes.  A non-fresh one (master restart) keeps the
+        arena: the reply lists the reservations the replayed metadata
+        vouches for, and everything else — allocations whose commit
+        record never hit the log — is dropped as an orphan.
+        """
+        assert self._master is not None and self.arena is not None
+        reply = yield from self._master.call(
+            "register_server", self.host_id, self.capacity,
+            self.arena_mr.rkey, fresh,
+            timeout=self.config.control_deadline_s,
+        )
+        # the master has the last word on freshness: a server that asked
+        # to keep its arena across a master restart may find its lease
+        # expired during the outage, in which case it was buried and
+        # must come back with a wiped slate and a bumped fence
+        if reply.get("fresh", fresh):
+            if not fresh:
+                self.arena = Arena(self.arena_mr.addr, self.capacity)
+            self.nic.fence_epoch = reply["epoch"]
+        else:
+            self.arena.retain(addr for addr, _length in reply["live"])
+        return reply
+
+    def _rejoin_master(self):
+        """Reconnect to a (restarted) master (generator).
+
+        Retries with backoff until ``server_rejoin_deadline_s`` drains,
+        then returns False — the caller stands the server down, though
+        its NIC stays up so in-flight one-sided traffic still completes
+        until the master buries us and clients remap away.
+        Re-registration is *not* fresh: the arena survives a master
+        crash, and the replayed log tells us which reservations to keep.
+        """
+        cfg = self.config
+        backoff = Backoff(
+            self.sim,
+            derive_rng(cfg.seed, f"server-rejoin-{self.host_id}"),
+            base_s=cfg.retry_backoff_base_s,
+            max_s=cfg.retry_backoff_max_s,
+            deadline=self.sim.now + cfg.server_rejoin_deadline_s,
+        )
+        while self.alive:
+            try:
+                yield from backoff.pause()
+            except DeadlineExceededError:
+                return False
+            master = RpcClient(self.sim, self.nic, self.cm)
+            try:
+                yield from master.connect(cfg.master_host, cfg.master_service)
+                self._master = master
+                yield from self._register(fresh=False)
+            except (RpcError, ChannelClosed, RdmaError):
+                continue
+            return True
+        return False
 
     def _reregister(self):
         """Rejoin after the master forgot us (generator).
@@ -286,10 +368,10 @@ class MemoryServer:
         old reservations are orphaned: reset the arena bookkeeping and
         donate the full capacity again.  The arena MR stays registered,
         so clients holding stale descriptors can still complete in-flight
-        one-sided reads against the old bytes until they remap.
+        one-sided reads against the old bytes until they remap — the
+        fence epoch from the fresh registration is what finally cuts
+        them off.
         """
         assert self.arena_mr is not None
         self.arena = Arena(self.arena_mr.addr, self.capacity)
-        yield from self._master.call(
-            "register_server", self.host_id, self.capacity, self.arena_mr.rkey
-        )
+        yield from self._register(fresh=True)

@@ -123,7 +123,7 @@ class ConnectionManager:
             pd, send_cq, recv_cq, sq_depth=sq_depth, rq_depth=rq_depth
         )
         # REQ -> server
-        yield self._control(nic, server_nic)
+        yield from self._handshake(nic, server_nic, span)
         server_qp = yield from server_nic.create_qp(
             listener.pd,
             listener.send_cq,
@@ -141,9 +141,9 @@ class ConnectionManager:
             if hasattr(result, "throw"):
                 yield from result
         # REP -> client
-        yield self._control(server_nic, nic)
+        yield from self._handshake(server_nic, nic, span)
         # RTU -> server
-        yield self._control(nic, server_nic)
+        yield from self._handshake(nic, server_nic, span)
         # INIT->RTR->RTS transitions on both ends
         yield self.sim.timeout(model.cm_setup_s / 2)
 
@@ -152,6 +152,28 @@ class ConnectionManager:
         self.connections += 1
         span.finish(ok=True)
         return client_qp
+
+    def _handshake(self, src: RNic, dst: RNic, span):
+        """One handshake control message, bounded by the CM's retry
+        timer (generator).
+
+        A partitioned fabric eats control messages silently; real
+        rdma_cm surfaces that as a timeout on the active side.  Without
+        partitions armed the timer never fires first, so the fast path
+        is unchanged.
+        """
+        delivered = self._control(src, dst)
+        if self.network.fault_filter is None:
+            yield delivered
+            return
+        timer = self.sim.timeout(src.model.retry_timeout_s)
+        yield self.sim.any_of([delivered, timer])
+        if not delivered.triggered:
+            span.finish(ok=False)
+            raise ConnectError(
+                f"handshake {src.host.name} -> {dst.host.name} timed out "
+                "(partitioned?)"
+            )
 
     def _control(self, src: RNic, dst: RNic):
         """One handshake control message across the fabric (event)."""

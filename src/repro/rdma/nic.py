@@ -46,6 +46,10 @@ class RNic:
         self.model = model or NicModel()
         self.memory = HostMemory(host.host_id)
         self.alive = True
+        #: epoch fence: one-sided WRs stamped with an epoch below this
+        #: are NAK'd ("stale epoch") instead of touching memory — set by
+        #: the memory server when it re-registers with a recycled arena
+        self.fence_epoch = 0
         #: optional fault-injection hook: ``hook(host_id, wr) -> str``
         #: returning a non-empty detail fails the WR with RETRY_EXC_ERR
         #: *before* it leaves this NIC (the remote side never sees it)
@@ -185,6 +189,7 @@ class RNic:
         """Accept a posted WQE; called by :meth:`QueuePair.post_send`."""
         self._m_ops_posted.inc()
         self._m_doorbells.inc()
+        wr._wc_raised = False
         if self.obs.tracer.enabled:
             wr._obs_posted = self.sim.now
         if self.rsan.enabled:
@@ -210,6 +215,8 @@ class RNic:
         """
         self._m_ops_posted.inc(len(wrs))
         self._m_doorbells.inc()
+        for wr in wrs:
+            wr._wc_raised = False
         if self.obs.tracer.enabled:
             for wr in wrs:
                 wr._obs_posted = self.sim.now
@@ -262,6 +269,19 @@ class RNic:
                     ),
                 )
                 return
+        if self.network.fault_filter is not None:
+            # partitions are armed: any leg of this op (request, remote
+            # ack, read response) may silently vanish in the fabric, so
+            # model the RC transport retry timer — if no completion has
+            # been raised by then, the op fails with RETRY_EXC_ERR.
+            # First completion wins (see the guard in ``_complete``).
+            self._after(
+                self.model.retry_timeout_s,
+                lambda: self._complete(
+                    qp, wr, WcStatus.RETRY_EXC_ERR,
+                    detail="transport retries exhausted (partitioned?)",
+                ),
+            )
         remote_qp = qp.remote
         assert remote_qp is not None, "connected QP lost its peer"
         opcode = wr.opcode
@@ -307,6 +327,11 @@ class RNic:
         atomic_result: Optional[int] = None,
         detail: str = "",
     ) -> None:
+        if getattr(wr, "_wc_raised", False):
+            # the partition watchdog and the real outcome can both try
+            # to complete one WR; whichever fires first is the truth
+            return
+        wr._wc_raised = True
         if status is WcStatus.SUCCESS and self.ack_fault_hook is not None:
             injected = self.ack_fault_hook(self.host.host_id, wr)
             if injected:
@@ -352,6 +377,12 @@ class RNic:
     def _remote_lookup(
         self, remote: "RNic", wr: SendWR, need: Access
     ) -> tuple[Optional[MemoryRegion], str]:
+        epoch = getattr(wr, "epoch", None)
+        if epoch is not None and epoch < remote.fence_epoch:
+            return None, (
+                f"stale epoch {epoch} fenced (server is at epoch "
+                f"{remote.fence_epoch})"
+            )
         mr = remote.mr_by_rkey.get(wr.rkey)
         if mr is None:
             return None, f"no memory region with rkey {wr.rkey}"

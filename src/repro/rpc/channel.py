@@ -13,7 +13,7 @@ from typing import Optional
 from repro.rdma.cm import ConnectionManager
 from repro.rdma.nic import RNic
 from repro.rdma.qp import QueuePair
-from repro.rdma.types import Access, Opcode, RdmaError, WcStatus
+from repro.rdma.types import Access, Opcode, QpError, RdmaError, WcStatus
 from repro.rdma.wr import RecvWR, SendWR
 from repro.simnet.config import KiB
 from repro.simnet.resources import Resource
@@ -109,15 +109,21 @@ class RdmaMsgChannel:
             # Application-side marshalling into the registered buffer.
             yield from self.nic.host.cpu.copy(len(payload))
             self._send_mr.buffer.write(0, payload)
-            self.qp.post_send(
-                SendWR(
-                    opcode=Opcode.SEND,
-                    local_mr=self._send_mr,
-                    local_addr=self._send_mr.addr,
-                    length=len(payload),
-                    wire_length=wire_size,
+            try:
+                self.qp.post_send(
+                    SendWR(
+                        opcode=Opcode.SEND,
+                        local_mr=self._send_mr,
+                        local_addr=self._send_mr.addr,
+                        length=len(payload),
+                        wire_length=wire_size,
+                    )
                 )
-            )
+            except QpError as exc:
+                # the QP died under us (peer crash tore it down) before
+                # the dispatcher could observe the flush
+                self.closed = True
+                raise ChannelClosed(str(exc)) from exc
             wc = yield self.qp.send_cq.next_completion()
             if not wc.ok:
                 self.closed = True

@@ -105,6 +105,9 @@ class RpcServer(_HandlerRegistry):
         self.service_id = service_id
         self.msg_size = msg_size
         self.requests_served = 0
+        #: every accepted connection, so :meth:`stop` can tear them down
+        self._accepted: list[RdmaMsgChannel] = []
+        self._stopped = False
         #: optional fault-injection hook: ``hook(service_id, method) ->
         #: str``; a non-empty string fails the call with that message
         self.fault_hook: Optional[Callable[[str, str], str]] = None
@@ -125,11 +128,31 @@ class RpcServer(_HandlerRegistry):
         )
         return self
 
+    def stop(self, reason: str = "server stopped") -> None:
+        """Tear the service down (fail-stop).
+
+        Stops listening and errors both ends of every accepted QP: the
+        local flush ends our ``_serve`` loops, and the remote flush
+        fails every peer's pending recv so its dispatcher observes
+        channel death instead of waiting forever.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        self.cm.stop_listening(self.nic, self.service_id)
+        for channel in self._accepted:
+            channel.close()
+            channel.qp.set_error(reason)
+            if channel.qp.remote is not None:
+                channel.qp.remote.set_error(reason)
+        self._accepted.clear()
+
     def _accept(self, qp: QueuePair):
         qp.send_cq = yield from self.nic.create_cq()
         qp.recv_cq = yield from self.nic.create_cq()
         channel = RdmaMsgChannel(self.nic, qp, msg_size=self.msg_size)
         yield from channel.prepare()
+        self._accepted.append(channel)
         self.sim.process(
             self._serve(channel), name=f"rpc-serve-{self.service_id}"
         )
@@ -189,6 +212,19 @@ class RpcClient:
     def connected(self) -> bool:
         return self._channel is not None and not self._channel.closed
 
+    def abort(self, reason: str = "client aborted") -> None:
+        """Tear the connection down without a goodbye (fail-stop).
+
+        Errors both QP ends so the peer's ``_serve`` loop sees channel
+        death, and our own dispatcher fails every pending call.
+        """
+        if self._channel is None:
+            return
+        self._channel.close()
+        self._channel.qp.set_error(reason)
+        if self._channel.qp.remote is not None:
+            self._channel.qp.remote.set_error(reason)
+
     def _dispatch_responses(self):
         assert self._channel is not None
         while True:
@@ -197,6 +233,12 @@ class RpcClient:
             except ChannelClosed as exc:
                 for future in self._pending.values():
                     if not future.triggered:
+                        # the owner may never claim this failure: under a
+                        # partition it can still be parked inside send()
+                        # when the peer dies, and learns of the death from
+                        # send itself — defuse so the orphaned failure
+                        # cannot crash the kernel
+                        future.defused = True
                         future.fail(RpcError(str(exc)))
                 self._pending.clear()
                 return

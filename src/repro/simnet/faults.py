@@ -8,6 +8,12 @@ stream, so a fault scenario replays bit-for-bit from its seed:
 * **server crashes** — kill a memory server's host at a chosen time;
 * **heartbeat drops / delays** — make a healthy server look dead to the
   master (false-positive death), then let it resume and rejoin;
+* **master crashes** — fail-stop the master at a chosen time and
+  optionally restart it later; the restarted master replays its
+  metadata log (see ``core/metalog.py``) and re-learns the membership;
+* **network partitions** — split the fabric into groups (or one-way
+  splits) whose cross-traffic silently vanishes; transports time out,
+  clients fail fast against their deadlines;
 * **transient RPC failures** — a control-plane call fails with a remote
   ``RStoreError`` without running its handler (callers must retry);
 * **wire faults** — a one-sided data operation launched by a chosen
@@ -82,20 +88,90 @@ class FaultInjector:
         self.seed = seed
         self._rng = derive_rng(seed, "fault-injector")
         self._crashes: list[tuple[float, int]] = []
+        self._master_crashes: list[tuple[float, Optional[float]]] = []
         self._heartbeat: dict[int, list[_Window]] = {}
         self._rpc: dict[int, list[_Window]] = {}
         self._wire: dict[int, list[_Window]] = {}
+        #: (window, blocked(src, dst)) pairs; see :meth:`partition`
+        self._partitions: list = []
         self._cluster = None
         self._t0 = 0.0
         #: injection timeline: ``(sim_time, message)`` pairs
         self.log: list[tuple[float, str]] = []
-        self.injected = {"crashes": 0, "heartbeats": 0, "rpc": 0, "wire": 0}
+        self.injected = {"crashes": 0, "heartbeats": 0, "rpc": 0,
+                         "wire": 0, "master_crashes": 0, "partition": 0}
 
     # -- schedule declaration ------------------------------------------------
 
     def crash_server(self, host_id: int, at: float) -> "FaultInjector":
         """Kill *host_id*'s server (NIC and all) *at* seconds in."""
         self._crashes.append((at, host_id))
+        return self
+
+    def crash_master(self, at: float,
+                     restart_after: Optional[float] = None) -> "FaultInjector":
+        """Fail-stop the master *at* seconds in; optionally restart it
+        *restart_after* seconds later.
+
+        The crash loses every piece of in-memory master state —
+        namespace, membership, in-flight repair — and tears down every
+        control-plane connection.  The restart replays the metadata
+        write-ahead log and runs the recovery protocol (epoch bump,
+        re-registration grace, repair resumption).
+        """
+        if restart_after is not None and restart_after <= 0:
+            raise ValueError("restart_after must be positive")
+        self._master_crashes.append((at, restart_after))
+        return self
+
+    def partition(self, groups, start: float,
+                  duration: float) -> "FaultInjector":
+        """Split the fabric: hosts in different *groups* cannot exchange
+        messages during ``[start, start + duration)``.
+
+        *groups* is a list of host-id lists.  Hosts not listed in any
+        group keep full connectivity.  The split is symmetric; see
+        :meth:`partition_oneway` for asymmetric loss.
+        """
+        membership: dict[int, int] = {}
+        for index, group in enumerate(groups):
+            for host_id in group:
+                if host_id in membership:
+                    raise ValueError(f"host {host_id} is in two groups")
+                membership[host_id] = index
+
+        def blocked(src: int, dst: int) -> bool:
+            return (
+                src in membership and dst in membership
+                and membership[src] != membership[dst]
+            )
+
+        self._partitions.append(
+            (_Window(start, start + duration), blocked,
+             f"partition {groups}")
+        )
+        return self
+
+    def partition_oneway(self, src_hosts, dst_hosts, start: float,
+                         duration: float) -> "FaultInjector":
+        """Asymmetric split: messages from *src_hosts* to *dst_hosts*
+        vanish; the reverse direction still flows.
+
+        Blocking only the reply direction (the server side as *srcs*)
+        yields the nasty case: requests arrive and are applied, but
+        the acknowledgements never come back — initiators see ambiguous
+        timeouts on operations that actually happened.
+        """
+        srcs = frozenset(src_hosts)
+        dsts = frozenset(dst_hosts)
+
+        def blocked(src: int, dst: int) -> bool:
+            return src in srcs and dst in dsts
+
+        self._partitions.append(
+            (_Window(start, start + duration), blocked,
+             f"one-way partition {sorted(srcs)} -> {sorted(dsts)}")
+        )
         return self
 
     def drop_heartbeats(self, host_id: int, start: float,
@@ -171,6 +247,18 @@ class FaultInjector:
             cluster.sim.process(
                 self._crash_proc(at, host_id), name=f"fault-crash-{host_id}"
             )
+        for index, (at, restart_after) in enumerate(
+            sorted(self._master_crashes)
+        ):
+            cluster.sim.process(
+                self._master_crash_proc(at, restart_after),
+                name=f"fault-crash-master-{index}",
+            )
+        if self._partitions:
+            # arming the filter also arms the NIC-side partition
+            # watchdogs; it stays None otherwise so partition-free runs
+            # carry zero extra timers
+            cluster.net.fault_filter = self._partition_filter
         return self
 
     # -- hooks (consulted by the components) ---------------------------------
@@ -263,3 +351,31 @@ class FaultInjector:
         self.injected["crashes"] += 1
         self._note(f"crashed server {host_id}")
         self._cluster.kill_server(host_id)
+
+    def _master_crash_proc(self, at: float, restart_after: Optional[float]):
+        yield self._cluster.sim.timeout(at)
+        if self._cluster.master is None or not self._cluster.master.alive:
+            return
+        self.injected["master_crashes"] += 1
+        self._note("crashed the master")
+        self._cluster.crash_master()
+        if restart_after is None:
+            return
+        yield self._cluster.sim.timeout(restart_after)
+        self._note("restarting the master")
+        yield from self._cluster.restart_master()
+        self._note("master restarted")
+
+    def _partition_filter(self, src: int, dst: int) -> bool:
+        now = self._now()
+        for window, blocked, label in self._partitions:
+            if not window.open_at(now):
+                continue
+            if not blocked(src, dst):
+                continue
+            if window.fired == 0:
+                self._note(f"{label} started eating traffic")
+            window.fired += 1
+            self.injected["partition"] += 1
+            return True
+        return False

@@ -90,6 +90,12 @@ class Network:
         self.bytes_carried = 0
         #: total frames carried
         self.frames_carried = 0
+        #: optional partition filter: ``filter(src_id, dst_id) -> bool``;
+        #: True silently drops the message (its delivery event never
+        #: fires — the fabric ate it, exactly like a real partition)
+        self.fault_filter: Optional[Callable[[int, int], bool]] = None
+        #: messages eaten by the fault filter
+        self.messages_dropped = 0
 
     def rack_of(self, host: Host) -> Rack:
         return self.racks[host.host_id % self.config.racks]
@@ -141,6 +147,16 @@ class Network:
         if nbytes < 0:
             raise ValueError(f"negative message size {nbytes}")
         sim = self.sim
+        if (
+            self.fault_filter is not None
+            and src is not dst
+            and self.fault_filter(src.host_id, dst.host_id)
+        ):
+            # partitioned: the message vanishes in the fabric; no bytes
+            # are accounted and the returned event never fires — loss is
+            # the caller's (transport's) problem, as on a real network
+            self.messages_dropped += 1
+            return Event(sim)
         frame_size = frame_size or self.config.frame_size
         nframes = max(1, -(-nbytes // frame_size))
         wire_bytes = nbytes + nframes * header_bytes

@@ -1,6 +1,6 @@
 """repro-lint: AST checks for invariants ruff cannot express.
 
-Four rule families, each guarding a design contract of this repo:
+Five rule families, each guarding a design contract of this repo:
 
 * **RL001 — control-path isolation.**  Data-path modules (any file
   under a ``coord``, ``graph``, ``sort`` or ``kv`` directory) must not
@@ -22,6 +22,12 @@ Four rule families, each guarding a design contract of this repo:
 * **RL004 — instrument naming.**  Metric and span names follow the
   ``layer.noun_verb`` registry convention with a known first segment,
   so dashboards and ``report.py`` groupers keep working.
+* **RL005 — bounded retries.**  A ``while True:`` loop that catches an
+  exception and ``continue``\\ s is an unbounded retry: under a
+  partition it spins (and keeps the simulation alive) forever.  Every
+  retry loop outside ``simnet/`` must be visibly bounded — by a
+  deadline, an attempt budget, or a :class:`Backoff` with a deadline —
+  or carry an explicit allow comment.
 
 Findings print as ``path:line: RLxxx message``; the process exits
 nonzero if any survive.  Suppress a deliberate finding with a trailing
@@ -81,6 +87,11 @@ LAYERS = {
     "master", "obs", "rnic", "rpc", "rsan", "sim", "sort", "span",
 }
 
+#: identifiers mentioning any of these mark a retry loop as bounded
+#: (RL005) — deadlines, budgets, attempt counters, Backoff expiry
+BOUND_TOKENS = ("deadline", "budget", "attempt", "expired", "remaining",
+                "limit")
+
 _NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 _PREFIX_RE = re.compile(r"^[a-z0-9_.]+$")
 _ALLOW_RE = re.compile(r"#\s*repro-lint:\s*allow\[([A-Z0-9, ]+)\]")
@@ -119,6 +130,59 @@ def _dotted(node) -> str:
         parts.append(node.id)
         return ".".join(reversed(parts))
     return ""
+
+
+def _handler_continues(stmts) -> bool:
+    """True if *stmts* reach a ``continue`` of the enclosing loop.
+
+    Recurses through if/with/try bodies but stops at nested loops and
+    function definitions — a ``continue`` in those belongs to them.
+    """
+    for stmt in stmts:
+        if isinstance(stmt, ast.Continue):
+            return True
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor,
+                             ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for field in ("body", "orelse", "finalbody"):
+            if _handler_continues(getattr(stmt, field, [])):
+                return True
+        if isinstance(stmt, ast.Try):
+            if any(_handler_continues(h.body) for h in stmt.handlers):
+                return True
+    return False
+
+
+def _retrying_trys(stmts):
+    """``try`` statements of one loop body whose handlers continue it."""
+    for stmt in stmts:
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor,
+                             ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(stmt, ast.Try) and any(
+            _handler_continues(handler.body) for handler in stmt.handlers
+        ):
+            yield stmt
+        for field in ("body", "orelse", "finalbody"):
+            yield from _retrying_trys(getattr(stmt, field, []))
+        if isinstance(stmt, ast.Try):
+            for handler in stmt.handlers:
+                yield from _retrying_trys(handler.body)
+
+
+def _mentions_bound(node) -> bool:
+    """Any identifier in *node*'s subtree that names a bound."""
+    for sub in ast.walk(node):
+        text = ""
+        if isinstance(sub, ast.Name):
+            text = sub.id
+        elif isinstance(sub, ast.Attribute):
+            text = sub.attr
+        elif isinstance(sub, ast.keyword) and sub.arg:
+            text = sub.arg
+        if text and any(token in text.lower() for token in BOUND_TOKENS):
+            return True
+    return False
 
 
 def _unwrap_awaitable(node):
@@ -179,6 +243,19 @@ class _Checker(ast.NodeVisitor):
                 self.flag(node, "RL001",
                           f"data-path module imports from {node.module!r} "
                           "(master/RPC machinery)")
+        self.generic_visit(node)
+
+    # -- RL005: unbounded retry loops ----------------------------------------
+
+    def visit_While(self, node):
+        forever = isinstance(node.test, ast.Constant) and node.test.value
+        if forever and not self.in_simnet and not _mentions_bound(node):
+            for stmt in _retrying_trys(node.body):
+                self.flag(stmt, "RL005",
+                          "unbounded retry: `while True` catches and "
+                          "continues with no deadline, budget, or attempt "
+                          "bound in sight — a partition spins this loop "
+                          "forever")
         self.generic_visit(node)
 
     # -- RL003: dropped futures ----------------------------------------------

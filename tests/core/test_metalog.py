@@ -1,0 +1,213 @@
+"""The metadata write-ahead log: append, checkpoint, replay.
+
+Unit-level guarantees the crash-recovery protocol leans on:
+
+* records are serialized **at append time** — mutating the live object
+  afterwards cannot reach the log, which is what makes append-before-
+  reply a real commit point;
+* replay folds the tail over the checkpoint: region upserts, frees
+  that delete (and never resurrect), server membership upserts, and a
+  monotonic epoch;
+* checkpointing truncates the tail and survives replay;
+* ``next_region_id`` is re-derived past every replayed region so a
+  restarted master never reuses an id;
+* every append charges its fsync latency on the simulated clock.
+"""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.core import RStoreConfig
+from repro.core.metalog import MetaLog, RecoveredState
+from repro.core.region import RegionDesc, StripeDesc, StripeReplica
+from repro.simnet.config import KiB, MiB
+from repro.simnet.kernel import Simulator
+
+APPEND_S = 5e-6
+
+
+def _region(name: str, region_id: int = 1, epoch: int = 0) -> RegionDesc:
+    return RegionDesc(
+        region_id=region_id,
+        name=name,
+        size=64,
+        stripe_size=64,
+        stripes=[
+            StripeDesc(
+                index=0, length=64,
+                replicas=(StripeReplica(host_id=1, addr=4096, rkey=7),),
+            )
+        ],
+        epoch=epoch,
+    )
+
+
+def _drive(sim: Simulator, generator):
+    return sim.run(until=sim.process(generator))
+
+
+def test_append_replay_round_trip():
+    sim = Simulator()
+    log = MetaLog(sim, append_latency_s=APPEND_S)
+
+    def writer():
+        yield from log.append("region", _region("a", region_id=3))
+        yield from log.append("server", (2, 4096, 11, 0, True))
+        yield from log.append("epoch", 1)
+        yield from log.append("server", (2, 4096, 11, 1, False))
+        yield from log.append("epoch", 2)
+
+    _drive(sim, writer())
+    state = log.replay()
+    assert sorted(state.regions) == ["a"]
+    assert state.regions["a"].region_id == 3
+    assert state.servers == {2: (4096, 11, 1, False)}
+    assert state.epoch == 2
+    assert state.next_region_id == 4
+    assert log.appends == 5 and log.replays == 1
+
+
+def test_records_are_serialized_at_append_time():
+    sim = Simulator()
+    log = MetaLog(sim)
+    region = _region("mutable", epoch=0)
+
+    def writer():
+        yield from log.append("region", region)
+
+    _drive(sim, writer())
+    # the master moves on after replying; the log must not follow
+    region.epoch = 9
+    region.available = False
+    replayed = log.replay().regions["mutable"]
+    assert replayed.epoch == 0
+    assert replayed.available
+    # and the replayed copy is safe to mutate without touching the log
+    replayed.version = 99
+    assert log.replay().regions["mutable"].version == 1
+
+
+def test_replay_upserts_the_latest_region_snapshot():
+    sim = Simulator()
+    log = MetaLog(sim)
+    old = _region("r", epoch=0)
+    new = _region("r", epoch=2)
+    new.version = 4
+
+    def writer():
+        yield from log.append("region", old)
+        yield from log.append("region", new)
+
+    _drive(sim, writer())
+    state = log.replay()
+    assert state.regions["r"].epoch == 2
+    assert state.regions["r"].version == 4
+
+
+def test_free_deletes_and_never_resurrects():
+    sim = Simulator()
+    log = MetaLog(sim, checkpoint_every=1)
+
+    def writer():
+        yield from log.append("region", _region("doomed"))
+        # checkpoint captures the region...
+        yield from log.maybe_checkpoint(
+            RecoveredState(regions={"doomed": _region("doomed")})
+        )
+        # ...and the free lands in the tail afterwards
+        yield from log.append("free", "doomed")
+
+    _drive(sim, writer())
+    state = log.replay()
+    assert "doomed" not in state.regions
+
+
+def test_checkpoint_truncates_the_tail():
+    sim = Simulator()
+    log = MetaLog(sim, checkpoint_every=2)
+
+    def writer():
+        yield from log.append("region", _region("a", region_id=1))
+        yield from log.append("region", _region("b", region_id=2))
+        yield from log.maybe_checkpoint(RecoveredState(
+            regions={"a": _region("a", region_id=1),
+                     "b": _region("b", region_id=2)},
+            epoch=1,
+        ))
+        # below the threshold: no new checkpoint
+        yield from log.append("region", _region("c", region_id=3))
+        yield from log.maybe_checkpoint(RecoveredState())
+
+    _drive(sim, writer())
+    assert log.checkpoints == 1
+    assert len(log) == 1  # only the post-checkpoint tail survives
+    state = log.replay()
+    assert sorted(state.regions) == ["a", "b", "c"]
+    assert state.epoch == 1
+    assert state.next_region_id == 4
+
+
+def test_append_charges_fsync_latency():
+    sim = Simulator()
+    log = MetaLog(sim, append_latency_s=APPEND_S)
+
+    def writer():
+        before = sim.now
+        yield from log.append("epoch", 1)
+        return sim.now - before
+
+    elapsed = _drive(sim, writer())
+    assert elapsed == pytest.approx(APPEND_S)
+
+
+def test_replay_of_an_empty_log_is_a_clean_boot():
+    log = MetaLog(Simulator())
+    state = log.replay()
+    assert state.regions == {} and state.servers == {}
+    assert state.epoch == 0 and state.next_region_id == 1
+    # an empty log is still falsy by length — the master must adopt it
+    # anyway (regression guard for the shared-log wiring)
+    assert len(log) == 0 and not log._tail
+
+
+def test_checkpoint_at_the_commit_point_loses_no_region():
+    """Regression: the checkpoint must not eat the record that trips it.
+
+    ``_alloc`` appends the region record *before* inserting it into
+    ``self.regions``.  The master used to checkpoint right after each
+    append — so a checkpoint tripped by an alloc's own record would
+    snapshot state without that region and then truncate its record:
+    one region silently lost per checkpoint boundary.  Checkpointing
+    before the append closes the window.
+    """
+    cluster = build_cluster(
+        num_machines=4,
+        config=RStoreConfig(stripe_size=64 * KiB,
+                            metalog_checkpoint_every=4),
+        server_capacity=16 * MiB,
+    )
+    names = [f"r{i}" for i in range(12)]
+
+    def app():
+        client = cluster.client(1)
+        for name in names:
+            yield from client.alloc(name, 64 * KiB)
+        assert cluster.metalog.checkpoints >= 2  # truncation happened
+        cluster.master.crash()
+        yield from cluster.restart_master()
+        survivors = yield from client.list_regions()
+        assert survivors == sorted(names)
+
+    cluster.run_app(app())
+
+
+def test_unknown_record_kind_is_rejected():
+    sim = Simulator()
+    log = MetaLog(sim)
+
+    def writer():
+        yield from log.append("gibberish", 42)
+
+    _drive(sim, writer())
+    with pytest.raises(ValueError, match="unknown metalog record"):
+        log.replay()

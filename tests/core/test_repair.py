@@ -237,3 +237,132 @@ def test_losing_two_servers_heals_as_long_as_one_copy_survives():
         return data
 
     assert cluster.run_app(verify()) == b"still here"
+
+
+def test_falsely_dead_server_rejoins_fenced_and_clients_ride_through():
+    """Lease-expiry edge: heartbeats drop, the server is buried alive.
+
+    The master promotes its replicas away and bumps the epoch; when the
+    heartbeats resume the server re-registers *fresh* — recycled arena,
+    fence at the new epoch.  A client still holding the pre-death
+    mapping fans its next write at the rejoined server with an
+    old-epoch stamp: the NIC NAKs it (``StaleEpochError`` under the
+    hood), the client remaps immediately and the write lands — one
+    fenced retry, zero application errors.
+    """
+    faults = FaultInjector(seed=13)
+    cluster = fresh_cluster(seed=13, faults=faults)
+    client = cluster.client(1)
+
+    def setup():
+        region = yield from client.alloc("fenced", REGION, replication=2)
+        mapping = yield from client.map(region)
+        yield from mapping.write(0, _pattern(0))
+        return region, mapping
+
+    region, mapping = cluster.run_app(setup())
+    victim = next(
+        h for h in region.hosts if h not in (cluster.config.master_host, 1)
+    )
+    # window times count from attach: schedule the drop for "now"
+    now_rel = cluster.sim.now - cluster.boot_time
+    faults.drop_heartbeats(victim, start=now_rel, duration=0.2)
+    # lease (0.07) expires inside the window; the drop outlives it, the
+    # first heartbeat after the window triggers the fresh re-register
+    cluster.run(until=cluster.sim.now + 0.4)
+    assert cluster.faults.injected["heartbeats"] > 0
+    slot = cluster.master.allocator.get_server(victim)
+    assert slot is not None and slot.alive, "the victim never rejoined"
+    assert cluster.master.epoch >= 1  # the false death bumped the fence
+    assert cluster.servers[victim].nic.fence_epoch == slot.epoch
+
+    # aim at a stripe the STALE mapping still places on the victim —
+    # that is the write whose old-epoch stamp must bounce off the fence
+    victim_stripe = next(
+        s for s in region.stripes
+        if victim in [r.host_id for r in s.replicas]
+    )
+    offset = victim_stripe.index * 64 * KiB
+
+    def write_through_the_fence():
+        yield from mapping.write(offset, _pattern(1))
+        head = yield from mapping.read(0, CHUNK)
+        fenced = yield from mapping.read(offset, CHUNK)
+        return head, fenced
+
+    head, fenced = cluster.run_app(write_through_the_fence())
+    assert head == _pattern(0)
+    assert fenced == _pattern(1)
+    assert client.retries_fenced >= 1, (
+        "the write was never fenced — the stale mapping reached "
+        "recycled bytes unchallenged"
+    )
+    healed = cluster.master.regions["fenced"]
+    assert healed.available
+    assert all(s.replication == 2 for s in healed.stripes)
+
+
+def test_server_flapping_across_a_master_recovery():
+    """Lease-expiry edge: a server goes silent just before the master
+    crashes, misses the whole re-registration grace period, and only
+    speaks up again after being declared a straggler.
+
+    The restarted master buries it (epoch bump, promotion, repair);
+    when the flapper finally reconnects it *asks* for the keep-my-arena
+    rejoin — but the master has the last word and forces a fresh
+    registration, so the flapper comes back wiped and fenced instead of
+    resurrecting orphaned reservations.
+    """
+    faults = FaultInjector(seed=17)
+    faults.crash_master(at=0.15, restart_after=0.05)
+    cluster = build_cluster(
+        num_machines=5,
+        config=RStoreConfig(stripe_size=64 * KiB, heartbeat_interval_s=0.02,
+                            lease_timeout_s=0.07, recovery_grace_s=0.1,
+                            seed=17),
+        server_capacity=64 * MiB,
+        faults=faults,
+    )
+    client = cluster.client(1)
+
+    def setup():
+        region = yield from client.alloc("flap", REGION, replication=2)
+        mapping = yield from client.map(region)
+        yield from mapping.write(0, b"ride the flap")
+        return region
+
+    region = cluster.run_app(setup())
+    victim = next(
+        h for h in region.hosts if h not in (cluster.config.master_host, 1)
+    )
+    # silent from just before the crash until well past the grace
+    # period: the victim never notices the master died (no channel
+    # error — its heartbeats are silently swallowed), so it cannot
+    # re-register inside the recovery window
+    now_rel = cluster.sim.now - cluster.boot_time
+    faults.drop_heartbeats(victim, start=now_rel, duration=0.45 - now_rel)
+    cluster.run(until=cluster.boot_time + 1.5)
+
+    assert faults.injected["master_crashes"] == 1
+    master = cluster.master
+    assert master.alive and not master.recovering
+    # recovery bumped the epoch once, the straggler burial again
+    assert master.epoch >= 2
+    slot = master.allocator.get_server(victim)
+    assert slot is not None and slot.alive, "the flapper never came back"
+    # forced-fresh: the flapper is fenced at its burial-or-later epoch,
+    # and its recycled arena donates full capacity again
+    assert slot.epoch >= 2
+    assert cluster.servers[victim].nic.fence_epoch == slot.epoch
+    assert cluster.servers[victim].arena.free_bytes == slot.capacity
+
+    healed = master.regions["flap"]
+    assert healed.available
+    assert all(s.replication == 2 for s in healed.stripes)
+
+    def verify():
+        mapping = yield from cluster.client(3).map("flap")
+        data = yield from mapping.read(0, 13)
+        return data
+
+    assert cluster.run_app(verify()) == b"ride the flap"

@@ -56,3 +56,10 @@ def test_failover_example():
     out = run_example("failover_with_replication.py")
     assert "lost, as expected" in out
     assert "intact" in out
+
+
+def test_master_failover_example():
+    out = run_example("master_failover.py")
+    assert "alloc failed fast" in out
+    assert "replayed from the WAL" in out
+    assert "no committed region lost" in out

@@ -1,0 +1,74 @@
+"""Fixture: RL005 — unbounded retry loops.
+
+Bad: ``while True`` catching an exception and continuing with no
+visible bound.  Good: retry loops bounded by a deadline or an attempt
+budget, loops with a real termination condition, and dispatch loops
+that never retry.
+"""
+
+
+def naked_retry(call):
+    while True:
+        try:  # -> RL005
+            return call()
+        except ValueError:
+            continue
+
+
+def nested_inside_a_branch(call, verbose):
+    while True:
+        if verbose:
+            try:  # -> RL005
+                return call()
+            except ValueError:
+                continue
+        return None
+
+
+def bounded_by_attempts(call):
+    attempts = 0
+    while True:
+        try:
+            return call()
+        except ValueError:
+            attempts += 1
+            if attempts > 3:
+                raise
+            continue
+
+
+def bounded_by_deadline(sim, call, deadline):
+    while True:
+        try:
+            return call()
+        except ValueError:
+            if sim.now >= deadline:
+                raise
+            continue
+
+
+def real_termination_condition(daemon, call):
+    while daemon.alive:
+        try:
+            return call()
+        except ValueError:
+            continue
+    return None
+
+
+def dispatcher_never_retries(queue):
+    while True:
+        item = queue.get()
+        if item is None:
+            return
+        yield item
+
+
+def inner_loop_continue_belongs_to_the_inner_loop(calls):
+    while True:
+        for call in calls:
+            try:
+                call()
+            except ValueError:
+                continue  # continues the for, not the while
+        return

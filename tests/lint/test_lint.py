@@ -25,6 +25,7 @@ FIXTURES = {
     "RL002": HERE / "fixture_rl002.py",
     "RL003": HERE / "fixture_rl003.py",
     "RL004": HERE / "fixture_rl004.py",
+    "RL005": HERE / "fixture_rl005.py",
 }
 
 
