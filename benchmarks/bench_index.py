@@ -1,0 +1,97 @@
+"""Aggregate every ``BENCH_*.json`` into one trajectory document.
+
+Each benchmark that sweeps something interesting writes a
+``BENCH_<name>.json`` next to itself (recovery, txn, ...).  This tool
+folds all of them into ``BENCH_index.json`` — a single document a
+re-anchor (or a human) can diff across revisions to see the perf
+curve without hunting through individual files.
+
+The index is a pure function of the input files: no timestamps, no
+environment — two runs over the same results are byte-identical, so
+a diff of the index is a diff of the *numbers*.
+
+Run it directly (``python benchmarks/bench_index.py``) or let the CI
+bench-smoke job refresh it after the benchmarks it runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["collect", "write_index", "main"]
+
+INDEX_NAME = "BENCH_index.json"
+
+
+def _headline(name: str, doc) -> dict:
+    """A few at-a-glance numbers per benchmark, when recognizable."""
+    rows = doc.get("rows") if isinstance(doc, dict) else None
+    head: dict = {}
+    if isinstance(rows, list) and rows:
+        head["rows"] = len(rows)
+        numeric: dict = {}
+        for row in rows:
+            if not isinstance(row, dict):
+                continue
+            for key, value in row.items():
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    numeric.setdefault(key, []).append(value)
+        for key, values in sorted(numeric.items()):
+            head[f"max_{key}"] = max(values)
+    return head
+
+
+def collect(bench_dir: Path) -> dict:
+    """Fold every ``BENCH_*.json`` under *bench_dir* into one document."""
+    benchmarks: dict = {}
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        if path.name == INDEX_NAME:
+            continue
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            benchmarks[path.name] = {"error": str(exc)}
+            continue
+        benchmarks[path.name] = {
+            "headline": _headline(path.name, doc),
+            "document": doc,
+        }
+    return {
+        "index": "perf trajectory: every BENCH_*.json in benchmarks/",
+        "files": sorted(benchmarks),
+        "benchmarks": benchmarks,
+    }
+
+
+def write_index(bench_dir: Path = None) -> Path:
+    """Write (or refresh) ``BENCH_index.json``; returns its path."""
+    bench_dir = bench_dir or Path(__file__).parent
+    index_path = bench_dir / INDEX_NAME
+    index_path.write_text(
+        json.dumps(collect(bench_dir), indent=2, sort_keys=True) + "\n"
+    )
+    return index_path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="aggregate BENCH_*.json files into BENCH_index.json",
+    )
+    parser.add_argument(
+        "--dir", type=Path, default=Path(__file__).parent,
+        help="directory holding the BENCH_*.json files",
+    )
+    args = parser.parse_args(argv)
+    path = write_index(args.dir)
+    doc = json.loads(path.read_text())
+    print(f"indexed {len(doc['files'])} benchmark file(s) -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

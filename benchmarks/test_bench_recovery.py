@@ -1,4 +1,4 @@
-"""E14 — Control-plane recovery time vs metadata-log size.
+"""E15 — Control-plane recovery time vs metadata-log size.
 
 Measures the robustness tentpole end to end: the master crashes while
 serving a populated cluster, restarts, replays its checkpoint + WAL,
@@ -94,10 +94,10 @@ def run_experiment():
     return [run_one(n) for n in REGION_COUNTS]
 
 
-def test_e14_recovery_time(benchmark):
+def test_e15_recovery_time(benchmark):
     rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     print_table(
-        "E14: master crash -> first successful map (outage 50 ms)",
+        "E15: master crash -> first successful map (outage 50 ms)",
         ["regions", "WAL appends", "crash->map (ms)", "replay+redial (ms)",
          "epoch"],
         [

@@ -3,6 +3,8 @@
 * :mod:`repro.baselines.tcp_store` — a sockets-based in-memory store
   (two-sided request/response through the server CPU), the classic
   pre-RDMA design point for E2/E4.
+* :mod:`repro.baselines.twopl` — a naive two-phase-locking transaction
+  runner, the pessimistic comparator for the OCC runtime (E14).
 * The graph and sort comparators live with their applications
   (:mod:`repro.graph.baseline`, :mod:`repro.sort.terasort`).
 """
@@ -13,5 +15,13 @@ from repro.baselines.tcp_store import (
     TcpMemoryClient,
     TcpMemoryServer,
 )
+from repro.baselines.twopl import TwoPhaseLocking, TwoPLError
 
-__all__ = ["TcpKvClient", "TcpKvServer", "TcpMemoryClient", "TcpMemoryServer"]
+__all__ = [
+    "TcpKvClient",
+    "TcpKvServer",
+    "TcpMemoryClient",
+    "TcpMemoryServer",
+    "TwoPhaseLocking",
+    "TwoPLError",
+]

@@ -1,0 +1,192 @@
+"""A naive two-phase-locking transaction runner: the E14 comparator.
+
+The pre-OCC design point ("RDMA vs. RPC for Implementing Distributed
+Data Structures" argues the lock-based variant): declare every key up
+front, lock *all* of their slots before reading anything, hold the
+locks across read + compute + write, release at the end.  Growing and
+shrinking phases are strict, and locks are taken in global
+``(region, offset)`` order, so the runner is deadlock-free — but
+readers block writers and writers block everyone, which is exactly
+the contention behaviour E14 measures against the optimistic runtime
+(:mod:`repro.txn`).
+
+Slots are locked with the same SeqLock token protocol the OCC runtime
+uses (unique odd tokens, ambiguous CAS completions resolved by a
+follow-up read), so the two runners differ only in *when* they lock,
+not in how.
+"""
+
+from __future__ import annotations
+
+from repro.coord import Backoff
+from repro.core.errors import DeadlineExceededError, RecoverableError
+from repro.kv.hashkv import _PROBE_LIMIT, _TOMBSTONE, KvError, _hash64
+
+__all__ = ["TwoPhaseLocking", "TwoPLError"]
+
+_WORD = 8
+#: per-slot lock acquisition attempts before giving up (each waits on
+#: the shared backoff, which also enforces the caller's deadline)
+_LOCK_ATTEMPTS = 4096
+#: replays of one idempotent publish/abort write under faults
+_APPLY_ATTEMPTS = 64
+#: 2PL tokens share the transaction token space (far above versions)
+_TOKEN_BASE = (1 << 62) | (1 << 61)
+
+
+class TwoPLError(KvError):
+    """The 2PL runner could not serve the declared keyset."""
+
+
+class TwoPhaseLocking:
+    """Pessimistic multi-key transactions over hashkv tables."""
+
+    def __init__(self, client, label: str = "2pl", deadline: float = None):
+        self.client = client
+        self.label = label
+        self.deadline = deadline
+        _m = client.obs.metrics
+        _labels = dict(label=label, host=client.nic.host.host_id)
+        self._m_commits = _m.counter("txn.twopl_commits", **_labels)
+        self._m_lock_waits = _m.counter("txn.twopl_lock_waits", **_labels)
+        self._m_commit_s = _m.histogram("txn.twopl_commit_s", **_labels)
+
+    @property
+    def commits(self) -> int:
+        return int(self._m_commits.value)
+
+    def _token(self) -> int:
+        seq = getattr(self.client, "_txn_token_seq", 0) + 1
+        self.client._txn_token_seq = seq
+        host_id = self.client.nic.host.host_id
+        return (_TOKEN_BASE | (host_id << 24) | ((seq % (1 << 23)) << 1)
+                | 1)
+
+    def _find_slot(self, store, key: bytes):
+        """The slot holding *key* (generator); 2PL cannot insert —
+        every declared key must already exist."""
+        store._check_key(key)
+        base = _hash64(key)
+        for probe in range(_PROBE_LIMIT):
+            index = (base + probe) % store.slots
+            version, key_len, slot_key, _value = (
+                yield from store.snapshot_slot(index)
+            )
+            if key_len == 0:
+                break
+            if key_len != _TOMBSTONE and slot_key == key:
+                return index
+        raise TwoPLError(
+            f"declared key {key!r} not present — the naive 2PL runner "
+            "only updates existing keys"
+        )
+
+    def _replay(self, op_factory, backoff):
+        """Drive one idempotent publish/abort write through faults
+        (generator) — same post-decision discipline as repro.txn."""
+        for _attempt in range(_APPLY_ATTEMPTS):
+            try:
+                yield from op_factory()
+                return
+            except RecoverableError:
+                yield from backoff.pause()
+        raise TwoPLError(
+            f"idempotent 2PL write did not land within "
+            f"{_APPLY_ATTEMPTS} attempts"
+        )
+
+    def run(self, store, keys, fn, deadline: float = None):
+        """One pessimistic transaction (generator).
+
+        Locks every declared key's slot in global order, reads the
+        values under lock, applies ``fn(values) -> updates`` (a plain
+        function over ``{key: value}`` returning ``{key: new_value}``
+        for the keys it changes), publishes the updates, and releases
+        everything.  Returns ``fn``'s updates dict.
+        """
+        client = self.client
+        sim = client.sim
+        deadline = self.deadline if deadline is None else deadline
+        token = self._token()
+        backoff = Backoff.for_client(client, f"twopl-{self.label}",
+                                     deadline=deadline)
+        replay = Backoff.for_client(client, f"twopl-apply-{self.label}",
+                                    base_s=1e-3, max_s=50e-3)
+        start = sim.now
+        # -- growing phase: resolve slots, lock them in global order
+        slots = {}
+        for key in set(keys):
+            index = yield from self._find_slot(store, key)
+            slots[(store.mapping.name, store.slot_lock(index).offset)] = (
+                key, index
+            )
+        held = []  # (lock, pre-lock version, key, index)
+        try:
+            for rkey in sorted(slots):
+                key, index = slots[rkey]
+                lock = store.slot_lock(index)
+                for _attempt in range(_LOCK_ATTEMPTS):
+                    word = yield from self._read_version(store, index)
+                    if word % 2 == 0:
+                        got = yield from lock.try_lock(word, token=token)
+                        if got:
+                            held.append((lock, word, key, index))
+                            break
+                    self._m_lock_waits.inc()
+                    yield from backoff.pause()
+                else:
+                    raise DeadlineExceededError(
+                        f"2PL lock on {rkey} not acquired within "
+                        f"{_LOCK_ATTEMPTS} attempts"
+                    )
+            # -- read under lock: values are stable while we hold them
+            values = {}
+            for _lock, _word, key, index in held:
+                _version, key_len, slot_key, value = (
+                    yield from store.snapshot_slot(index)
+                )
+                if key_len in (0, _TOMBSTONE) or slot_key != key:
+                    raise TwoPLError(
+                        f"slot {index} no longer holds {key!r} — it was "
+                        "deleted between probe and lock"
+                    )
+                values[key] = value
+            updates = fn(dict(values)) or {}
+            unknown = set(updates) - set(values)
+            if unknown:
+                raise TwoPLError(
+                    f"updates for undeclared keys: {sorted(unknown)}"
+                )
+            # -- write + shrinking phase: publish changed, restore rest
+            for lock, word, key, _index in held:
+                if key in updates:
+                    body = store._encode_body(key, updates[key])
+                    yield from self._replay(
+                        lambda lock=lock, word=word, body=body:
+                            lock.publish(token, body,
+                                         new_version=word + 2),
+                        replay,
+                    )
+                else:
+                    yield from self._replay(
+                        lambda lock=lock, word=word: lock.abort(word),
+                        replay,
+                    )
+            held = []
+            self._m_commits.inc()
+            self._m_commit_s.observe(sim.now - start)
+            return updates
+        except BaseException:
+            for lock, word, _key, _index in held:
+                yield from self._replay(
+                    lambda lock=lock, word=word: lock.abort(word), replay
+                )
+            raise
+
+    def _read_version(self, store, index):
+        """One slot's current version word (generator)."""
+        lock = store.slot_lock(index)
+        rsan = self.client.rsan
+        with rsan.exempt(self.client._rsan_actor):
+            raw = yield from lock.mapping.read(lock.offset, _WORD)
+        return int.from_bytes(raw, "little")

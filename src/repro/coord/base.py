@@ -20,7 +20,11 @@ from __future__ import annotations
 
 import random
 
-from repro.core.errors import DeadlineExceededError, RStoreError
+from repro.core.errors import (
+    DeadlineExceededError,
+    RetryBudgetExceededError,
+    RStoreError,
+)
 from repro.simnet.kernel import Simulator
 from repro.simnet.rand import derive_rng
 
@@ -62,27 +66,39 @@ class Backoff:
     :class:`DeadlineExceededError` instead of sleeping, and a pause
     that would overshoot it is clipped so the loop wakes exactly at
     the deadline for its final check.
+
+    An optional *budget* (attempt count) bounds the loop the other
+    way: once it drains, :meth:`pause` raises
+    :class:`RetryBudgetExceededError`.  The deadline always outranks
+    the budget — a caller-inherited deadline that has passed surfaces
+    as the typed :class:`DeadlineExceededError`, never as a bare
+    budget exhaustion, so every retry loop fails with the error that
+    names the bound the *caller* set (RL005's uniform semantics).
     """
 
     def __init__(self, sim: Simulator, rng: random.Random,
                  base_s: float = 2e-6, max_s: float = 200e-6,
-                 deadline: float | None = None):
+                 deadline: float | None = None,
+                 budget: int | None = None):
         self.sim = sim
         self.rng = rng
         self.base_s = base_s
         self.max_s = max_s
         self.deadline = deadline
+        self.budget = budget
         self.attempt = 0
 
     @classmethod
     def for_client(cls, client, label: str, base_s: float = 2e-6,
-                   max_s: float = 200e-6) -> "Backoff":
+                   max_s: float = 200e-6, deadline: float | None = None,
+                   budget: int | None = None) -> "Backoff":
         """A backoff with a private jitter stream for *label*."""
         rng = derive_rng(
             client.config.seed,
             f"coord-{label}-host-{client.nic.host.host_id}",
         )
-        return cls(client.sim, rng, base_s=base_s, max_s=max_s)
+        return cls(client.sim, rng, base_s=base_s, max_s=max_s,
+                   deadline=deadline, budget=budget)
 
     def reset(self) -> None:
         self.attempt = 0
@@ -103,11 +119,18 @@ class Backoff:
         """Sleep one backoff step (generator); doubles up to the cap.
 
         With a deadline set, raises :class:`DeadlineExceededError` once
-        it has passed, and never sleeps beyond it.
+        it has passed, and never sleeps beyond it.  With a budget set,
+        raises :class:`RetryBudgetExceededError` once it drains — but a
+        passed deadline is always checked first, so the caller's
+        deadline never degrades into a budget error.
         """
         if self.expired:
             raise DeadlineExceededError(
                 f"deadline passed after {self.attempt} attempt(s)"
+            )
+        if self.budget is not None and self.attempt >= self.budget:
+            raise RetryBudgetExceededError(
+                f"retry budget of {self.budget} attempt(s) exhausted"
             )
         self.attempt += 1
         # cap the exponent too: long poll loops push attempt into the

@@ -21,11 +21,20 @@ A ``SeqLock`` is a cheap *view* over any mapped region — data
 structures instantiate one per record (hashkv: one per slot) — while
 ``create``/``open`` give it a named region of its own for standalone
 use.
+
+Transactional writers (``repro.txn``) lock with a **unique odd
+token** instead of ``version + 1``: the token names the holder, so an
+ambiguous CAS completion (the NIC may or may not have applied it) is
+resolved with one follow-up read of the word — the RemoteLock
+discipline, applied to the version word.  Readers are oblivious: any
+odd value means "writer in flight".
 """
 
 from __future__ import annotations
 
-from repro.coord.base import Backoff, CoordError, region_name
+from repro.core.errors import RegionUnavailableError
+
+from repro.coord.base import Backoff, CoordError, read_word, region_name
 
 __all__ = ["SeqLock"]
 
@@ -121,15 +130,38 @@ class SeqLock:
 
     # -- writers (data path) ---------------------------------------------------
 
-    def try_lock(self, version: int):
-        """CAS the even *version* to odd (generator); returns success."""
+    def try_lock(self, version: int, token: int = None):
+        """CAS the even *version* to odd (generator); returns success.
+
+        With no *token* the lock word becomes ``version + 1`` (the
+        classic protocol) and an ambiguous CAS completion propagates —
+        the caller cannot tell whether it holds the word.  With a
+        unique odd *token* the word itself answers: an ambiguous
+        completion is resolved by re-reading it, so lock acquisition is
+        exactly-once under injected completion faults.
+        """
         if version % 2 == 1:
             raise CoordError(f"cannot lock from odd version {version}")
+        if token is not None and token % 2 == 0:
+            raise CoordError(f"lock token {token} must be odd")
+        lock_word = version + 1 if token is None else token
         client = self.mapping.client
         rsan = client.rsan
-        with rsan.exempt(client._rsan_actor):
-            old = yield from self.mapping.cas(self.offset, version,
-                                              version + 1)
+        try:
+            with rsan.exempt(client._rsan_actor):
+                old = yield from self.mapping.cas(self.offset, version,
+                                                  lock_word)
+        except RegionUnavailableError:
+            if token is None:
+                raise
+            # ambiguous completion: our token is unique, so one read of
+            # the word reveals whether the CAS landed (reads replay
+            # internally, riding out the fault that ate the ack)
+            with rsan.exempt(client._rsan_actor):
+                observed = yield from read_word(self.mapping, self.offset)
+            # anything other than our token — including the unchanged
+            # even version — counts as a loss; the caller re-snapshots
+            old = version if observed == lock_word else ~version
         if old != version:
             self._m_lock_failures.inc()
             return False
@@ -137,17 +169,27 @@ class SeqLock:
         rsan.sync_acquire(client._rsan_actor, self._sync_key(version))
         return True
 
-    def publish(self, locked_version: int, body: bytes = b""):
+    def publish(self, locked_version: int, body: bytes = b"",
+                new_version: int = None):
         """Write *body* (optional) and bump to the next even version
-        (generator).  ``locked_version`` is the odd value we CAS'd in."""
+        (generator).  ``locked_version`` is the odd value we CAS'd in
+        (``version + 1``, or the caller's unique token).  Token holders
+        must pass *new_version* explicitly (the pre-lock version + 2);
+        by default the next even version is ``locked_version + 1``."""
         if locked_version % 2 == 0:
             raise CoordError("publishing a record we never locked")
+        if new_version is None:
+            new_version = locked_version + 1
+        if new_version % 2 == 1 or new_version <= 0:
+            raise CoordError(
+                f"published version {new_version} must be a positive "
+                "even value"
+            )
         client = self.mapping.client
         rsan = client.rsan
         # release under the version we are about to publish, before the
         # writes leave: readers validating it join this clock
-        rsan.sync_release(client._rsan_actor,
-                          self._sync_key(locked_version + 1))
+        rsan.sync_release(client._rsan_actor, self._sync_key(new_version))
         with rsan.exempt(client._rsan_actor):
             if body:
                 if len(body) > self.body_size:
@@ -157,7 +199,7 @@ class SeqLock:
                     )
                 yield from self.mapping.write(self.offset + _WORD, body)
             yield from self.mapping.write(
-                self.offset, (locked_version + 1).to_bytes(8, "little")
+                self.offset, new_version.to_bytes(8, "little")
             )
 
     def abort(self, original_version: int):

@@ -129,14 +129,22 @@ class RKVStore:
     def _slot_offset(self, index: int) -> int:
         return (index % self.slots) * self.slot_size
 
-    def _slot_lock(self, index: int) -> SeqLock:
-        """The SeqLock view over one slot (cheap, created per use)."""
+    def slot_lock(self, index: int) -> SeqLock:
+        """The SeqLock view over one slot (cheap, created per use).
+
+        Public because the transaction runtime (:mod:`repro.txn`)
+        locks and publishes slots through the same per-slot version
+        metadata the table's own writers use.
+        """
         return SeqLock(
             self.mapping,
             self._slot_offset(index),
             self.slot_size - _WORD,
             max_read_retries=_READ_RETRIES,
         )
+
+    # kept for callers written against the pre-txn private name
+    _slot_lock = slot_lock
 
     def _parse_body(self, body: bytes):
         """Split a slot body (everything after the version word)."""
@@ -160,6 +168,23 @@ class RKVStore:
         body += value.ljust(pad_val, b"\0")
         return body
 
+    def snapshot_slot(self, index: int):
+        """One raw slot snapshot in a single one-sided READ (generator).
+
+        Returns ``(version, key_len, key, value)``.  The version may be
+        odd (a writer is mid-publish) and the snapshot is *unvalidated*
+        — transactional readers (:mod:`repro.txn`) re-check the version
+        word at commit time instead of paying a validation read here.
+        A single READ of one slot is internally consistent: slots never
+        straddle stripes, so the snapshot lands as one DMA.
+        """
+        blob = yield from self.mapping.read(
+            self._slot_offset(index), self.slot_size
+        )
+        version = int.from_bytes(blob[:_WORD], "little")
+        key_len, key, value = self._parse_body(blob[_WORD:])
+        return version, key_len, key, value
+
     def _read_slot(self, index: int):
         """Optimistically read one consistent slot snapshot (generator)."""
         lock = self._slot_lock(index)
@@ -178,6 +203,23 @@ class RKVStore:
         return version, key_len, key, value
 
     # -- the API -------------------------------------------------------------------
+
+    def txn(self, label: str = None, retries: int = None,
+            deadline: float = None):
+        """A transaction runtime bound to this table's client.
+
+        Returns a :class:`repro.txn.TxnRuntime`; transactions started
+        from it may span this table, other tables, and raw SeqLock
+        records — see :mod:`repro.txn`.
+        """
+        from repro.txn import TxnRuntime  # deferred: txn imports kv
+
+        return TxnRuntime(
+            self.client,
+            label=label if label is not None else f"kv-{self.name}",
+            retries=retries,
+            deadline=deadline,
+        )
 
     def put(self, key: bytes, value: bytes):
         """Insert or overwrite (generator)."""

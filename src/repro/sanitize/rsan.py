@@ -227,6 +227,9 @@ class RaceSanitizer:
         self._sync: dict[tuple, dict[int, int]] = {}
         self.races: list[RaceReport] = []
         self._reported: set[frozenset] = set()
+        #: transaction outcomes observed (see :meth:`txn_commit`)
+        self.txn_commits = 0
+        self.txn_aborts = 0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -323,6 +326,35 @@ class RaceSanitizer:
 
     def exempt(self, actor_id: int) -> _ExemptScope:
         return _ExemptScope(self, actor_id)
+
+    # -- transaction edges ----------------------------------------------------
+
+    def txn_commit(self, actor_id: int, read_keys=(), write_keys=()):
+        """A transaction committed: its edges become happens-before.
+
+        The runtime (:mod:`repro.txn`) joins the clock of every
+        validated read version (*read_keys*) — the committed snapshot
+        happens-after the writers that published it — and releases the
+        actor's clock under every published version (*write_keys*), so
+        later validated readers of those versions happen-after
+        *everything* this transaction's client had acked at commit.
+        Aborted transactions publish no edges at all: their snapshots
+        never ordered anything (see :meth:`txn_abort`).
+        """
+        if not self.enabled:
+            return
+        for key in read_keys:
+            self.sync_acquire(actor_id, key)
+        for key in write_keys:
+            self.sync_release(actor_id, key)
+        self.txn_commits += 1
+
+    def txn_abort(self, actor_id: int):
+        """A transaction aborted: intent locks were rolled back and no
+        happens-before edge was published (counted for reporting)."""
+        if not self.enabled:
+            return
+        self.txn_aborts += 1
 
     # -- recording and checking -----------------------------------------------
 

@@ -236,6 +236,70 @@ def cmd_kv(args) -> int:
     return 0
 
 
+def cmd_txn(args) -> int:
+    import random as _random
+
+    from repro.kv import RKVStore
+    from repro.obs import obs_for
+    from repro.obs.report import format_counters
+
+    cluster = _build(max(3, args.clients + 1), stripe_kib=64,
+                     capacity_mib=64)
+    sim = cluster.sim
+    obs = obs_for(sim)
+    keys = [f"acct-{i:03d}".encode() for i in range(args.accounts)]
+    opening = 1000
+
+    def worker(rank, host):
+        rng = _random.Random(1234 + rank)
+        view = yield from RKVStore.open(cluster.client(host), "bank")
+        runtime = view.txn(label=f"cli-{rank}")
+        for _ in range(args.transfers):
+            src, dst = rng.sample(keys, 2)
+            amount = rng.randint(1, 50)
+
+            def transfer(txn, src=src, dst=dst, amount=amount):
+                a = int((yield from txn.get(view, src)))
+                b = int((yield from txn.get(view, dst)))
+                yield from txn.put(view, src, str(a - amount).encode())
+                yield from txn.put(view, dst, str(b + amount).encode())
+
+            yield from runtime.run(transfer)
+        return runtime
+
+    def app():
+        store = yield from RKVStore.create(cluster.client(1), "bank",
+                                           slots=4 * args.accounts)
+        for key in keys:
+            yield from store.put(key, str(opening).encode())
+        t0 = sim.now
+        procs = [
+            cluster.spawn(worker(r, 1 + r % (cluster.num_machines - 1)))
+            for r in range(args.clients)
+        ]
+        yield sim.all_of(procs)
+        elapsed = sim.now - t0
+        total = 0
+        for key in keys:
+            total += int((yield from store.get(key)))
+        return elapsed, total, [p.value for p in procs]
+
+    elapsed, total, runtimes = cluster.run_app(app())
+    commits = sum(rt.commits for rt in runtimes)
+    print(f"{args.clients} clients x {args.transfers} two-key transfers "
+          f"over {args.accounts} accounts:")
+    print(f"throughput : {commits / elapsed / 1e3:8.1f} ktxn/s")
+    latency = obs.metrics.merged("txn.commit_s").summary().scaled(1e6)
+    print(f"commit     : p50 {latency.p50:.1f} µs, p95 {latency.p95:.1f} "
+          f"µs, p99 {latency.p99:.1f} µs")
+    print("\ntxn.* counters:")
+    print(format_counters(obs.metrics, prefixes=("txn.",)))
+    conserved = total == args.accounts * opening
+    print(f"\nledger total = {total} "
+          f"({'conserved' if conserved else 'LEAKED'})")
+    return 0 if conserved else 1
+
+
 def _traced_run(args):
     """One traced E13-shaped run: warm up, then batched steady reads.
 
@@ -353,6 +417,11 @@ def main(argv=None) -> int:
     p = sub.add_parser("kv", help="one-sided KV vs sockets KV (E10)")
     p.add_argument("--clients", type=int, default=4)
     p.add_argument("--ops", type=int, default=200)
+
+    p = sub.add_parser("txn", help="contended OCC transactions (E14)")
+    p.add_argument("--clients", type=int, default=3)
+    p.add_argument("--accounts", type=int, default=32)
+    p.add_argument("--transfers", type=int, default=40)
 
     for name, help_text in (
         ("stats", "traced run: latency breakdown + call census"),

@@ -3,7 +3,8 @@
 Five rule families, each guarding a design contract of this repo:
 
 * **RL001 — control-path isolation.**  Data-path modules (any file
-  under a ``coord``, ``graph``, ``sort`` or ``kv`` directory) must not
+  under a ``coord``, ``graph``, ``sort``, ``kv`` or ``txn`` directory)
+  must not
   import master/RPC machinery, and may call control-path client
   methods (``alloc``, ``map``, ``lookup``, ``free``, …) only from
   functions whose name marks them as setup/teardown (``create``,
@@ -45,7 +46,7 @@ from pathlib import Path
 __all__ = ["Violation", "lint_file", "lint_paths", "main"]
 
 #: path segments marking one-sided data-path packages (RL001 scope)
-DATA_PATH_SEGMENTS = {"coord", "graph", "sort", "kv"}
+DATA_PATH_SEGMENTS = {"coord", "graph", "sort", "kv", "txn"}
 
 #: imports of these modules are master/RPC machinery (RL001)
 FORBIDDEN_IMPORTS = ("repro.rpc", "repro.core.master")
@@ -85,6 +86,7 @@ INSTRUMENT_METHODS = {"counter", "gauge", "histogram", "span", "record",
 LAYERS = {
     "app", "client", "control", "coord", "data", "graph", "kv",
     "master", "obs", "rnic", "rpc", "rsan", "sim", "sort", "span",
+    "txn",
 }
 
 #: identifiers mentioning any of these mark a retry loop as bounded

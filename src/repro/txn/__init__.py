@@ -1,0 +1,42 @@
+"""One-sided multi-key transactions over remote data structures.
+
+RStore leaves coordination to the client; this package assembles the
+repo's coordination primitives into a transactional dataplane in the
+style of Storm: SeqLock versions give optimistic snapshot reads,
+CAS'd write intent (with unique odd tokens) gives exactly-once lock
+acquisition under completion faults, and idempotent publish/abort
+writes — replayed through crashes, partitions and wire faults — give
+atomic multi-key commit with no server CPU and no master on the path.
+
+Usage (inside a simulated app)::
+
+    runtime = store.txn()                  # a TxnRuntime for the client
+
+    def transfer(txn):
+        a = yield from txn.get(store, b"alice")
+        b = yield from txn.get(store, b"bob")
+        yield from txn.put(store, b"alice", debit(a))
+        yield from txn.put(store, b"bob", credit(b))
+
+    yield from runtime.run(transfer)       # retries conflicts, commits
+
+See DESIGN.md ("Transactions") for the commit protocol and the
+abort/fence matrix, and ``benchmarks/test_bench_txn.py`` (E14) for
+the OCC-vs-2PL contention study.
+"""
+
+from repro.txn.runtime import (
+    Txn,
+    TxnConflictError,
+    TxnError,
+    TxnMisuseError,
+    TxnRuntime,
+)
+
+__all__ = [
+    "Txn",
+    "TxnConflictError",
+    "TxnError",
+    "TxnMisuseError",
+    "TxnRuntime",
+]

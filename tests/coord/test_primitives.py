@@ -4,9 +4,13 @@ and protocol-misuse errors, all on one shared module cluster."""
 import pytest
 
 from repro.cluster import build_cluster
-from repro.coord import AtomicCounter, CoordError, RemoteLock, SeqLock
+from repro.coord import AtomicCounter, Backoff, CoordError, RemoteLock, SeqLock
 from repro.coord.base import read_word, write_word
 from repro.core import RStoreConfig
+from repro.core.errors import (
+    DeadlineExceededError,
+    RetryBudgetExceededError,
+)
 from repro.simnet.config import KiB, MiB
 
 
@@ -226,3 +230,97 @@ def test_seqlock_no_torn_reads_under_contention(cluster):
     assert torn == 0
     # every publish bumps the version by exactly 2
     assert version == 2 * 2 * writes_per_worker
+
+
+def test_seqlock_token_lock_publish(cluster):
+    """The transactional variant: lock with a unique odd token, publish
+    with an explicit next version."""
+    client = cluster.client(1)
+    token = (1 << 62) | 1
+
+    def app():
+        rec = yield from SeqLock.create(client, "token", body_size=8)
+        version, _ = yield from rec.read()
+        assert (yield from rec.try_lock(version, token=token))
+        word = yield from read_word(rec.mapping, rec.offset)
+        assert word == token  # the word names the holder
+        yield from rec.publish(token, b"\x07" * 8,
+                               new_version=version + 2)
+        got, body = yield from rec.read()
+        assert got == version + 2
+        assert body == b"\x07" * 8
+        with pytest.raises(CoordError, match="must be odd"):
+            yield from rec.try_lock(got, token=42)  # even token
+        with pytest.raises(CoordError, match="positive even"):
+            yield from rec.publish(token, new_version=token)
+
+    cluster.run_app(app())
+
+
+# -- Backoff bounds (deadline vs budget) --------------------------------------
+
+
+def test_backoff_budget_exhaustion_is_typed(cluster):
+    """A drained attempt budget raises RetryBudgetExceededError — which
+    is itself a DeadlineExceededError, so existing handlers keep
+    working."""
+    client = cluster.client(1)
+
+    def app():
+        backoff = Backoff.for_client(client, "budget-test", budget=3)
+        for _ in range(3):
+            yield from backoff.pause()
+        with pytest.raises(RetryBudgetExceededError, match="budget of 3"):
+            yield from backoff.pause()
+
+    cluster.run_app(app())
+    assert issubclass(RetryBudgetExceededError, DeadlineExceededError)
+
+
+def test_backoff_deadline_outranks_budget(cluster):
+    """Regression: a retry loop that inherits a caller deadline must
+    fail with the *typed* DeadlineExceededError, never degrade into a
+    bare budget exhaustion — even when the budget is already drained
+    too."""
+    sim = cluster.sim
+    client = cluster.client(1)
+
+    def app():
+        backoff = Backoff.for_client(client, "deadline-test",
+                                     deadline=sim.now + 10e-6, budget=0)
+        # the budget is exhausted from the start, but the deadline has
+        # not passed yet: budget exhaustion surfaces first...
+        with pytest.raises(RetryBudgetExceededError):
+            yield from backoff.pause()
+        yield sim.timeout(20e-6)
+        # ...and once the deadline passes it outranks the budget
+        try:
+            yield from backoff.pause()
+        except RetryBudgetExceededError:
+            raise AssertionError(
+                "a passed deadline degraded into a budget error"
+            )
+        except DeadlineExceededError:
+            pass
+        else:
+            raise AssertionError("pause() ignored the passed deadline")
+
+    cluster.run_app(app())
+
+
+def test_backoff_never_sleeps_past_the_deadline(cluster):
+    sim = cluster.sim
+    client = cluster.client(1)
+
+    def app():
+        deadline = sim.now + 50e-6
+        backoff = Backoff.for_client(client, "clip-test",
+                                     deadline=deadline, base_s=1.0,
+                                     max_s=10.0)
+        yield from backoff.pause()  # a 1 s step must clip to the deadline
+        assert sim.now <= deadline + 1e-12
+        yield sim.timeout(60e-6)
+        with pytest.raises(DeadlineExceededError):
+            yield from backoff.pause()
+
+    cluster.run_app(app())

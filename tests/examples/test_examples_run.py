@@ -58,6 +58,13 @@ def test_failover_example():
     assert "intact" in out
 
 
+def test_bank_transfer_example():
+    out = run_example("bank_transfer.py")
+    assert "while the master was DOWN" in out
+    assert "balance conserved" in out
+    assert "all ridden out" in out
+
+
 def test_master_failover_example():
     out = run_example("master_failover.py")
     assert "alloc failed fast" in out

@@ -1,0 +1,121 @@
+"""RSan learns transaction commits as happens-before edges.
+
+A committed transaction orders memory: its validated snapshot
+happens-after the writers that published it, and everything its client
+did before the commit point is published to later validated readers.
+An *aborted* transaction orders nothing — its snapshot never became
+part of any history.
+
+Each test plants the same raw-write/raw-write pair on a scratch
+region and varies only the transactional traffic between them: with a
+commit edge in the middle the pair is ordered (silence), without one
+it races (exactly one report).
+"""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.core import RStoreConfig
+from repro.kv import RKVStore
+from repro.sanitize import rsan_for
+from repro.simnet.config import KiB, MiB
+from repro.txn import TxnConflictError
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster(
+        num_machines=4,
+        config=RStoreConfig(stripe_size=8 * KiB, sanitize=True),
+        server_capacity=16 * MiB,
+    )
+
+
+def _scene(cluster):
+    """Scratch mappings for clients 1/2 plus a table owned by client 1."""
+    c1, c2 = cluster.client(1), cluster.client(2)
+    yield from c1.alloc("scratch", 8 * KiB)
+    m1 = yield from c1.map("scratch")
+    m2 = yield from c2.map("scratch")
+    store = yield from RKVStore.create(c1, "edges", slots=32)
+    yield from store.put(b"k1", b"0")
+    view = yield from RKVStore.open(c2, "edges")
+    return c1, c2, m1, m2, store, view
+
+
+def test_commit_edge_orders_raw_accesses(cluster):
+    """Writer commits, reader's transaction validates the published
+    version: the read-set join carries the writer's *whole* clock, so
+    the raw writes on either side are ordered."""
+    rsan = rsan_for(cluster.sim)
+
+    def app():
+        _c1, _c2, m1, m2, store, view = yield from _scene(cluster)
+        yield from m1.write(0, b"A" * 64)  # client 1, before its commit
+
+        def bump(txn):
+            value = int((yield from txn.get(store, b"k1")))
+            yield from txn.put(store, b"k1", str(value + 1).encode())
+
+        yield from store.txn(label="writer").run(bump)
+
+        def audit(txn):
+            return (yield from txn.get(view, b"k1"))
+
+        value = yield from view.txn(label="reader").run(audit)
+        assert value == b"1"
+        yield from m2.write(32, b"B" * 64)  # overlaps; ordered via txn
+
+    cluster.run_app(app())
+    assert rsan.races == [], rsan.report()
+    assert rsan.txn_commits == 2
+    assert rsan.txn_aborts == 0
+
+
+def test_without_the_txn_read_the_same_pair_races(cluster):
+    """Control: drop the reader's transaction and the raw pair has no
+    ordering edge — exactly one report, same sites as ever."""
+    rsan = rsan_for(cluster.sim)
+
+    def app():
+        _c1, _c2, m1, m2, store, _view = yield from _scene(cluster)
+        yield from m1.write(0, b"A" * 64)
+
+        def bump(txn):
+            value = int((yield from txn.get(store, b"k1")))
+            yield from txn.put(store, b"k1", str(value + 1).encode())
+
+        yield from store.txn(label="writer").run(bump)
+        yield from m2.write(32, b"B" * 64)  # nobody joined the commit
+
+    cluster.run_app(app())
+    assert len(rsan.races) == 1, rsan.report()
+    race = rsan.races[0]
+    assert {race.first.actor, race.second.actor} == {1, 2}
+    assert rsan.txn_commits == 1
+
+
+def test_aborted_transaction_publishes_no_edges(cluster):
+    """An aborted commit must not order anything: the intent lock was
+    rolled back and the snapshot discarded, so the surrounding raw
+    writes still race."""
+    rsan = rsan_for(cluster.sim)
+
+    def app():
+        _c1, _c2, m1, m2, store, view = yield from _scene(cluster)
+        yield from m1.write(0, b"A" * 64)
+        runtime = store.txn(label="loser")
+        txn = runtime.begin()
+        value = yield from txn.get(store, b"k1")
+        yield from txn.put(store, b"k1", value + b"!")
+        # client 2 beats the commit to the slot: the CAS must fail and
+        # the transaction abort without publishing an edge
+        yield from view.put(b"k1", b"raced")
+        with pytest.raises(TxnConflictError):
+            yield from txn.commit()
+        yield from m2.write(32, b"B" * 64)
+
+    cluster.run_app(app())
+    assert len(rsan.races) == 1, rsan.report()
+    assert rsan.txn_commits == 0
+    assert rsan.txn_aborts == 1

@@ -1,0 +1,79 @@
+"""The BENCH_*.json aggregator: deterministic, self-excluding, robust."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from benchmarks.bench_index import INDEX_NAME, collect, write_index
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _seed(tmp_path: Path) -> Path:
+    (tmp_path / "BENCH_alpha.json").write_text(json.dumps({
+        "benchmark": "alpha",
+        "rows": [
+            {"theta": 0.0, "txn_per_s": 100.0, "system": "occ"},
+            {"theta": 0.9, "txn_per_s": 250.0, "system": "occ"},
+        ],
+    }))
+    (tmp_path / "BENCH_beta.json").write_text(json.dumps({
+        "benchmark": "beta",
+        "rows": [{"ms": 12.5, "ok": True}],
+    }))
+    (tmp_path / "BENCH_broken.json").write_text("{not json")
+    (tmp_path / "RESULTS.txt").write_text("ignored: wrong prefix")
+    return tmp_path
+
+
+def test_collect_folds_every_bench_file(tmp_path):
+    doc = collect(_seed(tmp_path))
+    assert doc["files"] == [
+        "BENCH_alpha.json", "BENCH_beta.json", "BENCH_broken.json",
+    ]
+    alpha = doc["benchmarks"]["BENCH_alpha.json"]
+    assert alpha["document"]["benchmark"] == "alpha"
+    # headline surfaces the best number per column, and the row count
+    assert alpha["headline"]["rows"] == 2
+    assert alpha["headline"]["max_txn_per_s"] == 250.0
+    # booleans are not numbers; strings are not numbers
+    beta = doc["benchmarks"]["BENCH_beta.json"]
+    assert beta["headline"] == {"rows": 1, "max_ms": 12.5}
+    # a corrupt file is recorded, not fatal
+    assert "error" in doc["benchmarks"]["BENCH_broken.json"]
+
+
+def test_write_index_excludes_itself_and_is_idempotent(tmp_path):
+    _seed(tmp_path)
+    path = write_index(tmp_path)
+    assert path.name == INDEX_NAME
+    first = path.read_text()
+    # the index never swallows itself on a rerun, and reruns over the
+    # same inputs are byte-identical (no timestamps, no environment)
+    assert write_index(tmp_path).read_text() == first
+    doc = json.loads(first)
+    assert INDEX_NAME not in doc["files"]
+    assert len(doc["files"]) == 3
+
+
+def test_cli_entry_point(tmp_path):
+    _seed(tmp_path)
+    result = subprocess.run(
+        [sys.executable, str(REPO / "benchmarks" / "bench_index.py"),
+         "--dir", str(tmp_path)],
+        capture_output=True, text=True, timeout=60,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "indexed 3 benchmark file(s)" in result.stdout
+    assert (tmp_path / INDEX_NAME).exists()
+
+
+def test_committed_index_matches_committed_bench_files():
+    """The checked-in BENCH_index.json is the fold of the checked-in
+    BENCH_*.json files — regenerate with
+    ``python benchmarks/bench_index.py`` if this fails."""
+    bench_dir = REPO / "benchmarks"
+    committed = json.loads((bench_dir / INDEX_NAME).read_text())
+    assert committed == collect(bench_dir)
+    assert "BENCH_txn.json" in committed["files"]

@@ -48,6 +48,17 @@ def test_kv_reports_ops(capsys):
     assert "kops/s" in out
 
 
+def test_txn_reports_counters_and_conservation(capsys):
+    assert main(["txn", "--clients", "2", "--accounts", "16",
+                 "--transfers", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "ktxn/s" in out
+    assert "txn.commits = 20" in out
+    assert "txn.aborts" in out
+    assert "p50" in out and "p99" in out
+    assert "(conserved)" in out
+
+
 def test_stats_proves_zero_steady_state_master_rpcs(capsys):
     assert main(["stats", "--machines", "3", "--ops", "48",
                  "--window", "8"]) == 0
