@@ -42,13 +42,18 @@ class Cluster:
         self.config = config
         self.nics: list[RNic] = []
         self.tcp_stacks: list[TcpStack] = []
-        self.master: Optional[Master] = None
-        #: the durable metadata log — owned here so it outlives masters
-        self.metalog = MetaLog(
-            sim,
-            append_latency_s=config.metalog_append_s,
-            checkpoint_every=config.metalog_checkpoint_every,
-        )
+        #: one master instance per metadata shard (index = shard id)
+        self.masters: list[Optional[Master]] = [None] * config.control_shards
+        #: the durable metadata logs, one WAL per shard — owned here so
+        #: they outlive master instances across crash/restart cycles
+        self.metalogs: list[MetaLog] = [
+            MetaLog(
+                sim,
+                append_latency_s=config.metalog_append_s,
+                checkpoint_every=config.metalog_checkpoint_every,
+            )
+            for _ in range(config.control_shards)
+        ]
         self.servers: dict[int, MemoryServer] = {}
         self.clients: dict[int, RStoreClient] = {}
         self.boot_time: float = 0.0
@@ -57,6 +62,16 @@ class Cluster:
     @property
     def num_machines(self) -> int:
         return len(self.net)
+
+    @property
+    def master(self) -> Optional[Master]:
+        """Shard 0's master — *the* master when ``control_shards == 1``."""
+        return self.masters[0] if self.masters else None
+
+    @property
+    def metalog(self) -> MetaLog:
+        """Shard 0's metadata WAL (single-shard compatibility alias)."""
+        return self.metalogs[0]
 
     def nic(self, host_id: int) -> RNic:
         return self.nics[host_id]
@@ -84,21 +99,22 @@ class Cluster:
         """Fail a memory server's host (NIC down, heartbeats stop)."""
         self.servers[host_id].kill()
 
-    def crash_master(self) -> None:
-        """Fail-stop the master process.
+    def crash_master(self, shard: int = 0) -> None:
+        """Fail-stop one metadata shard's master process.
 
-        Its in-memory state is gone; only :attr:`metalog` survives.
+        Its in-memory state is gone; only that shard's WAL survives.
         Every control-plane connection is torn down so clients and
         servers observe channel death.  The master *host* (NIC, fabric
         link) stays up — this is a process crash, not a machine crash.
+        Other shards keep serving the names they own.
         """
-        assert self.master is not None, "no master to crash"
-        self.master.crash()
+        assert self.masters[shard] is not None, "no master to crash"
+        self.masters[shard].crash()
 
-    def restart_master(self):
-        """Boot a fresh master on the same host (generator).
+    def restart_master(self, shard: int = 0):
+        """Boot a fresh master for one shard on the same host (generator).
 
-        The new instance replays :attr:`metalog`, bumps the epoch, and
+        The new instance replays that shard's WAL, bumps its epoch, and
         runs the recovery protocol (re-registration grace, straggler
         burial, repair resumption).
         """
@@ -107,9 +123,10 @@ class Cluster:
             self.nics[self.config.master_host],
             self.cm,
             self.config,
-            metalog=self.metalog,
+            metalog=self.metalogs[shard],
+            shard_id=shard,
         )
-        self.master = master
+        self.masters[shard] = master
         yield from master.start()
         return master
 
@@ -161,10 +178,15 @@ def build_cluster(
     )
 
     def boot():
-        master = Master(sim, cluster.nics[config.master_host], cm, config,
-                        metalog=cluster.metalog)
-        cluster.master = master
-        yield from master.start()
+        # Every metadata shard boots on the master host — partitioning
+        # the namespace, not (yet) spreading it over machines; each is
+        # its own process with its own WAL and epoch.
+        for shard in range(config.control_shards):
+            master = Master(sim, cluster.nics[config.master_host], cm,
+                            config, metalog=cluster.metalogs[shard],
+                            shard_id=shard)
+            cluster.masters[shard] = master
+            yield from master.start()
         # Memory servers boot concurrently, like daemons across a rack.
         server_procs = []
         for host_id in server_ids:

@@ -5,6 +5,15 @@ Control path (expensive, infrequent)::
     region = yield from client.alloc("ranks", 64 * MiB)   # master RPC
     mapping = yield from client.map(region)               # connect + cache
 
+Control RPCs route through the :class:`~repro.core.shard.ShardRouter`:
+region names hash onto metadata shards, and each call dials only the
+shard owning its name.  ``map`` by name additionally consults the
+client's **metadata cache** — a leased, epoch-stamped descriptor cache
+with single-flight miss coalescing and short negative entries — so a
+region's shard is contacted at most once per epoch per region; an
+epoch bump (observed in any reply, or via a data-path fence) drops
+that shard's leases and forces exactly one refresh.
+
 Data path (one-sided, no server CPU, no metadata lookups)::
 
     yield from mapping.write(0, b"...")
@@ -76,7 +85,7 @@ from repro.core.errors import (
 )
 from repro.core.pool import LocalBufferPool
 from repro.core.region import RegionDesc
-from repro.coord.base import Backoff
+from repro.core.shard import ShardRouter
 from repro.obs import obs_for
 from repro.rdma.cm import ConnectionManager
 from repro.rdma.memory import MemoryRegion
@@ -105,6 +114,14 @@ _ATOMIC_OPS = (Opcode.ATOMIC_FAA, Opcode.ATOMIC_CAS)
 #: control methods that legitimately park at the master (coordination
 #: rendezvous) — they get crash-tolerant redial but no deadline
 _BLOCKING_CONTROL = frozenset({"barrier", "allreduce", "wait_note"})
+
+#: control methods whose first argument is a name the shard map routes;
+#: everything else (stats, membership) defaults to shard 0 so existing
+#: single-master callers keep working unchanged
+_NAME_ROUTED = frozenset({
+    "alloc", "lookup", "resize", "free",
+    "barrier", "allreduce", "notify", "wait_note",
+})
 
 
 def _translated(exc: RpcRemoteError) -> Exception:
@@ -627,6 +644,9 @@ class Mapping:
     def __init__(self, client: "RStoreClient", desc: RegionDesc):
         self.client = client
         self.desc = desc
+        #: the metadata shard owning this region's name — stamped onto
+        #: every WR so servers fence against the right shard's epoch
+        self.shard = client._router.shard_of(desc.name)
         self.active = True
         #: host_id -> connected data QP (borrowed from the client cache)
         self._qps: dict[int, QueuePair] = {}
@@ -940,9 +960,11 @@ class Mapping:
                     wire_length=(take * fut.wire_scale
                                  if fut.wire_scale != 1 else None),
                 )
-                # stamp the descriptor's era so a server that was
-                # re-donated since we mapped can fence the access
+                # stamp the descriptor's era (and its shard, so the
+                # fence compares against the right epoch sequence) —
+                # a server re-donated since we mapped bounces the access
                 wr.epoch = desc.epoch
+                wr.shard = self.shard
                 if fut._rsan is not None:
                     wr.rsan = fut._rsan
                 if batch is None:
@@ -983,6 +1005,7 @@ class Mapping:
             swap=fut.swap,
         )
         wr.epoch = desc.epoch
+        wr.shard = self.shard
         if fut._rsan is not None:
             wr.rsan = fut._rsan
         if batch is None:
@@ -1033,7 +1056,8 @@ class Mapping:
             return self.desc  # transient master-side failure
         if not desc.available:
             raise RegionUnavailableError(desc.unavailable_reason)
-        client._note_epoch(desc.epoch)
+        client._note_epoch(desc.epoch, self.shard)
+        client._meta_store(self.name, self.shard, desc)
         try:
             yield from client._ensure_qps(desc, self._qps)
         except RdmaError:
@@ -1043,6 +1067,30 @@ class Mapping:
             return self.desc
         self.desc = desc
         return self.desc
+
+
+class _MetaEntry:
+    """One cached region descriptor lease (or negative entry).
+
+    ``epoch`` is the client's *observed epoch of the owning shard* at
+    fetch time — not ``desc.epoch``, which records when the region was
+    created and is usually older.  An entry is served while the lease
+    has not expired and the shard's observed epoch has not moved; an
+    epoch bump evicts every lease fetched under the older era, which is
+    exactly the "at most one master RPC per epoch per region" contract.
+    """
+
+    __slots__ = ("desc", "shard", "epoch", "expires", "error")
+
+    def __init__(self, desc, shard: int, epoch: int, expires: float,
+                 error: Optional[Exception] = None):
+        self.desc = desc
+        self.shard = shard
+        self.epoch = epoch
+        self.expires = expires
+        #: a cached miss: ``map`` re-raises this until the negative TTL
+        #: lapses (freshly created regions become visible on re-ask)
+        self.error = error
 
 
 class RStoreClient:
@@ -1062,7 +1110,8 @@ class RStoreClient:
         self._pd = None
         self._data_cq = None
         self._staging: Optional[LocalBufferPool] = None
-        self._master: Optional[RpcClient] = None
+        #: the only path to a master: one cached channel per shard
+        self._router = ShardRouter(sim, nic, cm, self.config)
         self._data_qps: dict[int, QueuePair] = {}
         self._pumps: dict[QueuePair, _QpPump] = {}
         self._mem_rpc: dict[int, RpcClient] = {}
@@ -1074,9 +1123,15 @@ class RStoreClient:
         self._retry_queue: deque[OpFuture] = deque()
         self._retry_wakeup = None
         self._resolve_seq = 0
-        #: highest cluster epoch observed in any descriptor or stats
-        #: reply; stamped onto mutating control RPCs for fencing
-        self._epoch = 0
+        #: highest epoch observed per shard (descriptor or stats reply);
+        #: stamped onto mutating control RPCs for fencing, and the
+        #: invalidation signal for the metadata cache
+        self._epochs: dict[int, int] = {}
+        #: region name -> :class:`_MetaEntry` descriptor lease
+        self._meta_cache: dict[str, _MetaEntry] = {}
+        #: names with a lookup in flight -> waiter events (single-flight:
+        #: concurrent misses coalesce onto one master RPC)
+        self._meta_inflight: dict[str, list] = {}
         #: sanitizer context (no-op unless ``config.sanitize``); one
         #: actor per client host
         self.rsan = rsan_for(sim)
@@ -1099,6 +1154,13 @@ class RStoreClient:
                                               host=_host)
         self._m_master_redials = _m.counter("client.master_redials",
                                             host=_host)
+        self._m_cache_hits = _m.counter("client.metadata_cache_hits",
+                                        host=_host)
+        self._m_cache_misses = _m.counter("client.metadata_cache_misses",
+                                          host=_host)
+        self._m_cache_coalesced = _m.counter(
+            "client.metadata_cache_coalesced", host=_host
+        )
 
     # -- metrics (registry-backed; see repro.obs) -----------------------------
 
@@ -1142,6 +1204,26 @@ class RStoreClient:
         """Times the control channel died and was re-established."""
         return self._m_master_redials.value
 
+    @property
+    def metadata_cache_hits(self) -> int:
+        """``map``-by-name calls served from the descriptor cache."""
+        return self._m_cache_hits.value
+
+    @property
+    def metadata_cache_misses(self) -> int:
+        """``map``-by-name calls that had to ask the owning shard."""
+        return self._m_cache_misses.value
+
+    @property
+    def metadata_cache_coalesced(self) -> int:
+        """Concurrent misses that piggybacked on another's lookup."""
+        return self._m_cache_coalesced.value
+
+    @property
+    def _epoch(self) -> int:
+        """Legacy single-master view: the highest epoch on any shard."""
+        return max(self._epochs.values(), default=0)
+
     def start(self):
         """Connect to the cluster (generator)."""
         self._pd = yield from self.nic.alloc_pd()
@@ -1150,10 +1232,7 @@ class RStoreClient:
             self._pd, length=self.config.staging_pool_bytes
         )
         self._staging = LocalBufferPool(self.sim, staging_mr)
-        self._master = RpcClient(self.sim, self.nic, self.cm)
-        yield from self._master.connect(
-            self.config.master_host, self.config.master_service
-        )
+        yield from self._router.connect_all()
         self.sim.process(self._completion_dispatcher(), name="client-dispatch")
         self.sim.process(self._retry_worker(), name="client-retry")
         return self
@@ -1164,42 +1243,49 @@ class RStoreClient:
 
     # -- control path ----------------------------------------------------------
 
-    def _master_call(self, method: str, *args):
-        """One control RPC — deadline-bounded and crash-tolerant.
+    def _master_call(self, method: str, *args, shard: Optional[int] = None):
+        """One control RPC — routed, deadline-bounded, crash-tolerant.
 
+        The owning shard is derived from the method's name argument
+        (``_NAME_ROUTED``) unless *shard* pins it explicitly; methods
+        without a name (stats, membership) default to shard 0.
         Ordinary control calls get ``control_deadline_s`` of total
         budget: each attempt's RPC timeout is the time left, a dead
-        channel triggers a redial of the (possibly restarted) master,
+        channel triggers a redial of the (possibly restarted) shard,
         and when the budget drains a typed error surfaces instead of
         an unbounded hang — a partitioned client fails fast.
         Coordination rendezvous (barrier/allreduce/wait_note) park at
         the master by design, so they skip the deadline but keep the
         bounded redial.
         """
+        if shard is None:
+            shard = (self._router.shard_of(args[0])
+                     if method in _NAME_ROUTED and args else 0)
         self._m_master_calls.inc()
         rsan = self.rsan
         if rsan.enabled:
-            # every control RPC serializes through the single-threaded
-            # master: model it as one coarse release/acquire key.  This
-            # over-synchronizes (false negatives only) but keeps the
-            # control path free of false positives.
-            rsan.sync_release(self._rsan_actor, ("master",))
+            # every control RPC serializes through its single-threaded
+            # shard: model it as one coarse release/acquire key per
+            # shard.  This over-synchronizes (false negatives only) but
+            # keeps the control path free of false positives.
+            rsan.sync_release(self._rsan_actor, ("master", shard))
         span = self.obs.tracer.span(f"control.master.{method}",
                                     kind="control",
                                     host=self.nic.host.host_id)
         deadline = (None if method in _BLOCKING_CONTROL
                     else self.sim.now + self.config.control_deadline_s)
         try:
-            result = yield from self._call_with_redial(method, args, deadline)
+            result = yield from self._call_with_redial(method, args,
+                                                       deadline, shard)
         except Exception:
             span.finish(ok=False)
             raise
         span.finish()
         if rsan.enabled:
-            rsan.sync_acquire(self._rsan_actor, ("master",))
+            rsan.sync_acquire(self._rsan_actor, ("master", shard))
         return result
 
-    def _call_with_redial(self, method: str, args, deadline):
+    def _call_with_redial(self, method: str, args, deadline, shard: int):
         """The attempt loop behind :meth:`_master_call` (generator)."""
         while True:
             timeout = None
@@ -1212,8 +1298,9 @@ class RStoreClient:
                         f"{self.config.control_deadline_s}s deadline"
                     )
             try:
-                result = yield from self._master.call(method, *args,
-                                                      timeout=timeout)
+                master = yield from self._router.client_for(shard)
+                result = yield from master.call(method, *args,
+                                                timeout=timeout)
             except RpcTimeout:
                 self._m_deadlines_missed.inc()
                 raise DeadlineExceededError(
@@ -1225,17 +1312,17 @@ class RStoreClient:
                 if isinstance(err, MasterUnavailableError):
                     # a zombie handler on a crashed master refused to
                     # commit; redial and try again
-                    yield from self._redial_master(deadline)
+                    yield from self._redial_master(deadline, shard)
                     continue
                 raise err from None
-            except (RpcError, ChannelClosed):
-                # channel death: the master crashed, or we are cut off
-                yield from self._redial_master(deadline)
+            except (RdmaError, RpcError, ChannelClosed):
+                # channel death: the shard crashed, or we are cut off
+                yield from self._redial_master(deadline, shard)
                 continue
             return result
 
-    def _redial_master(self, deadline):
-        """Re-dial the master's control service (generator).
+    def _redial_master(self, deadline, shard: int = 0):
+        """Re-dial one shard's control service (generator).
 
         Bounded even for deadline-less (blocking) calls — they get a
         redial budget of ``control_deadline_s`` so a master that never
@@ -1246,49 +1333,119 @@ class RStoreClient:
         cfg = self.config
         if deadline is None:
             deadline = self.sim.now + cfg.control_deadline_s
-        backoff = Backoff(
-            self.sim, self._retry_rng,
-            base_s=cfg.retry_backoff_base_s,
-            max_s=cfg.retry_backoff_max_s,
-            deadline=deadline,
-        )
-        while True:
-            try:
-                yield from backoff.pause()
-            except DeadlineExceededError:
-                self._m_deadlines_missed.inc()
-                raise MasterUnavailableError(
-                    "master unreachable within the control deadline"
-                ) from None
-            master = RpcClient(self.sim, self.nic, self.cm)
-            try:
-                yield from master.connect(cfg.master_host,
-                                          cfg.master_service)
-            except (RdmaError, RpcError, ChannelClosed):
-                continue
-            self._master = master
-            return
+        try:
+            yield from self._router.redial(shard, deadline, self._retry_rng)
+        except DeadlineExceededError:
+            self._m_deadlines_missed.inc()
+            raise MasterUnavailableError(
+                "master unreachable within the control deadline"
+            ) from None
 
-    def _note_epoch(self, epoch) -> None:
-        if epoch is not None and epoch > self._epoch:
-            self._epoch = epoch
+    def _note_epoch(self, epoch, shard: int = 0) -> None:
+        """Track *shard*'s epoch; a bump drops that shard's leases."""
+        if epoch is None or epoch <= self._epochs.get(shard, 0):
+            return
+        self._epochs[shard] = epoch
+        stale = [name for name, entry in self._meta_cache.items()
+                 if entry.shard == shard and entry.epoch < epoch]
+        for name in stale:
+            del self._meta_cache[name]
 
     def _mutate(self, method: str, *args):
         """Epoch-stamped mutating control call (generator).
 
-        The call carries this client's view of the cluster epoch; a
-        master that has moved on fences it with StaleEpochError.  One
-        refresh-and-retry is built in — the point of the fence is to
-        force exactly that refresh, not to fail the application.
+        The call carries this client's view of the owning shard's
+        epoch; a shard that has moved on fences it with
+        StaleEpochError.  One refresh-and-retry is built in — the point
+        of the fence is to force exactly that refresh, not to fail the
+        application.
         """
+        shard = self._router.shard_of(args[0])
         try:
-            result = yield from self._master_call(method, *args, self._epoch)
+            result = yield from self._master_call(
+                method, *args, self._epochs.get(shard, 0), shard=shard
+            )
         except StaleEpochError:
             self._m_retries_fenced.inc()
-            stats = yield from self._master_call("cluster_stats")
-            self._note_epoch(stats["epoch"])
-            result = yield from self._master_call(method, *args, self._epoch)
+            stats = yield from self._master_call("cluster_stats",
+                                                 shard=shard)
+            self._note_epoch(stats["epoch"], shard)
+            result = yield from self._master_call(
+                method, *args, self._epochs.get(shard, 0), shard=shard
+            )
         return result
+
+    # -- the metadata cache --------------------------------------------------
+
+    def _meta_store(self, name: str, shard: int, desc) -> None:
+        """Cache a fresh descriptor under the current observed epoch."""
+        if not self.config.metadata_cache:
+            return
+        if not desc.available:
+            # never lease unavailability: callers polling for the
+            # region to heal must observe the restored descriptor on
+            # their next ask, not a cached refusal
+            self._meta_evict(name)
+            return
+        self._meta_cache[name] = _MetaEntry(
+            desc=desc, shard=shard,
+            epoch=self._epochs.get(shard, 0),
+            expires=self.sim.now + self.config.meta_lease_s,
+        )
+
+    def _meta_store_negative(self, name: str, shard: int) -> None:
+        if not self.config.metadata_cache:
+            return
+        ttl = self.config.meta_negative_ttl_s
+        if ttl <= 0:
+            return
+        self._meta_cache[name] = _MetaEntry(
+            desc=None, shard=shard,
+            epoch=self._epochs.get(shard, 0),
+            expires=self.sim.now + ttl,
+            error=RegionNotFoundError(f"no region named {name!r}"),
+        )
+
+    def _meta_evict(self, name: str) -> None:
+        self._meta_cache.pop(name, None)
+
+    def _meta_resolve(self, name: str):
+        """Descriptor for *name* (generator): cache, else one lookup.
+
+        Single-flight: concurrent misses for the same name park on the
+        first caller's lookup and share its outcome — 32 clients racing
+        a cold name cost the shard exactly one RPC.
+        """
+        if not self.config.metadata_cache:
+            desc = yield from self.lookup(name)
+            return desc
+        entry = self._meta_cache.get(name)
+        if entry is not None and self.sim.now < entry.expires:
+            self._m_cache_hits.inc()
+            if entry.error is not None:
+                raise entry.error
+            return entry.desc
+        waiters = self._meta_inflight.get(name)
+        if waiters is not None:
+            self._m_cache_coalesced.inc()
+            event = self.sim.event()
+            waiters.append(event)
+            desc, exc = yield event
+            if exc is not None:
+                raise exc
+            return desc
+        self._m_cache_misses.inc()
+        self._meta_inflight[name] = []
+        desc, exc = None, None
+        try:
+            desc = yield from self.lookup(name)
+        except Exception as caught:  # noqa: BLE001 - outcome fans out
+            exc = caught
+        for event in self._meta_inflight.pop(name, ()):
+            event.succeed((desc, exc))
+        if exc is not None:
+            raise exc
+        return desc
 
     def alloc(self, name: str, size: int, stripe_size: Optional[int] = None,
               preferred_host: Optional[int] = None,
@@ -1302,13 +1459,26 @@ class RStoreClient:
         desc = yield from self._mutate(
             "alloc", name, size, stripe_size, preferred_host, replication
         )
-        self._note_epoch(desc.epoch)
+        shard = self._router.shard_of(name)
+        self._note_epoch(desc.epoch, shard)
+        self._meta_store(name, shard, desc)
         return desc
 
     def lookup(self, name: str):
-        """Fetch a region descriptor by name (generator)."""
-        desc = yield from self._master_call("lookup", name)
-        self._note_epoch(desc.epoch)
+        """Fetch a region descriptor by name (generator).
+
+        Always asks the owning shard — tests and retry loops poll
+        ``lookup`` to observe repair progress, so it must never serve a
+        cached descriptor.  The reply refreshes the cache for ``map``.
+        """
+        shard = self._router.shard_of(name)
+        try:
+            desc = yield from self._master_call("lookup", name, shard=shard)
+        except RegionNotFoundError:
+            self._meta_store_negative(name, shard)
+            raise
+        self._note_epoch(desc.epoch, shard)
+        self._meta_store(name, shard, desc)
         return desc
 
     def resize(self, name: str, new_size: int):
@@ -1318,38 +1488,71 @@ class RStoreClient:
         live mappings keep working for the old range only.
         """
         desc = yield from self._mutate("resize", name, new_size)
-        self._note_epoch(desc.epoch)
+        shard = self._router.shard_of(name)
+        self._note_epoch(desc.epoch, shard)
+        self._meta_store(name, shard, desc)
         return desc
 
     def free(self, name: str):
         """Release a region cluster-wide (generator)."""
         result = yield from self._mutate("free", name)
+        self._meta_evict(name)
         return result
 
     def list_regions(self):
-        """All region names (generator)."""
-        names = yield from self._master_call("list_regions")
-        return names
+        """All region names, across every shard (generator)."""
+        if self._router.num_shards == 1:
+            names = yield from self._master_call("list_regions")
+            return names
+        names = []
+        for shard in range(self._router.num_shards):
+            owned = yield from self._master_call("list_regions", shard=shard)
+            names.extend(owned)
+        return sorted(names)
 
     def map(self, region: Union[RegionDesc, str]):
         """Map a region for data-path access (generator).
 
-        Resolves the descriptor (if given a name), then ensures a
-        connected data QP to every hosting server.  QPs are cached
-        across mappings, so only first contact with a server pays the
+        Resolves the descriptor (if given a name) — through the leased
+        metadata cache, so a warm re-map costs **zero** control RPCs
+        until the owning shard's epoch moves — then ensures a connected
+        data QP to every hosting server.  QPs are cached across
+        mappings, so only first contact with a server pays the
         connection cost.
         """
         span = self.obs.tracer.span("control.client.map", kind="control",
                                     host=self.nic.host.host_id)
         desc = region
-        if isinstance(region, str):
-            desc = yield from self.lookup(region)
-        self._note_epoch(desc.epoch)
-        if not desc.available:
-            span.finish(ok=False)
-            raise RegionUnavailableError(desc.unavailable_reason)
-        mapping = Mapping(self, desc)
-        yield from self._ensure_qps(desc, mapping._qps)
+        by_name = isinstance(region, str)
+        if by_name:
+            try:
+                desc = yield from self._meta_resolve(region)
+            except Exception:
+                span.finish(ok=False)
+                raise
+        for refreshed in (False, True):
+            self._note_epoch(desc.epoch, self._router.shard_of(desc.name))
+            if not desc.available:
+                span.finish(ok=False)
+                raise RegionUnavailableError(desc.unavailable_reason)
+            mapping = Mapping(self, desc)
+            try:
+                yield from self._ensure_qps(desc, mapping._qps)
+            except RdmaError:
+                # a hosting server is unreachable; if the descriptor
+                # came from the cache it may simply be a stale lease —
+                # drop it and ask the owning shard once before failing
+                if refreshed or not by_name:
+                    span.finish(ok=False)
+                    raise
+                self._meta_evict(region)
+                try:
+                    desc = yield from self.lookup(region)
+                except Exception:
+                    span.finish(ok=False)
+                    raise
+                continue
+            break
         span.finish(region=desc.name, hosts=len(desc.hosts))
         return mapping
 

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.simnet.config import KiB, MiB
 
@@ -108,6 +109,25 @@ class RStoreConfig:
     #: accesses (see repro.sanitize) — opt-in; the default path stays
     #: zero-cost and bit-identical with the flag off
     sanitize: bool = False
+    #: metadata shards the control plane is partitioned into: each is a
+    #: full master (own metalog, epoch, lease table, repair planner)
+    #: addressed by consistent hashing over qualified region names;
+    #: 1 reproduces the original single-master control plane exactly
+    control_shards: int = 1
+    #: client-side metadata cache: ``map`` serves descriptors from a
+    #: leased cache and hits a shard at most once per epoch per region
+    metadata_cache: bool = True
+    #: how long a cached descriptor lease is valid before the next
+    #: ``map`` re-validates it at its shard (epoch bumps and explicit
+    #: invalidation cut it short)
+    meta_lease_s: float = 5.0
+    #: how long a cached *negative* entry (region does not exist)
+    #: short-circuits ``map`` misses before re-asking the shard
+    meta_negative_ttl_s: float = 0.05
+    #: per-tenant capacity quotas in bytes of reserved (post-replication)
+    #: arena space; tenants absent from the dict are unlimited.  Each
+    #: shard enforces an even share (see ``core/shard.py``).
+    tenant_quota_bytes: Optional[dict[str, int]] = field(default=None)
 
     #: service ids on the fabric
     master_service: str = "rstore-master"
@@ -137,3 +157,17 @@ class RStoreConfig:
             raise ValueError("metalog_checkpoint_every must be at least 1")
         if self.recovery_grace_s < 0:
             raise ValueError("recovery_grace_s cannot be negative")
+        if self.control_shards < 1:
+            raise ValueError("control_shards must be at least 1")
+        if self.meta_lease_s <= 0:
+            raise ValueError("meta_lease_s must be positive")
+        if self.meta_negative_ttl_s < 0:
+            raise ValueError("meta_negative_ttl_s cannot be negative")
+        if self.tenant_quota_bytes is not None:
+            for tenant, quota in self.tenant_quota_bytes.items():
+                if not tenant or "/" in tenant:
+                    raise ValueError(f"bad tenant id {tenant!r}")
+                if quota < 0:
+                    raise ValueError(
+                        f"tenant {tenant!r} quota cannot be negative"
+                    )

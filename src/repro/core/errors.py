@@ -26,6 +26,7 @@ __all__ = [
     "FatalError",
     "AllocationError",
     "OutOfMemoryError",
+    "TenantQuotaExceededError",
     "RegionNotFoundError",
     "RegionExistsError",
     "RegionUnavailableError",
@@ -56,6 +57,16 @@ class AllocationError(RStoreError):
 
 class OutOfMemoryError(AllocationError):
     """The cluster (or a chosen server) lacks free DRAM."""
+
+
+class TenantQuotaExceededError(AllocationError):
+    """The allocation would push its tenant past its capacity quota.
+
+    Deterministic for the request as issued — the tenant must free
+    capacity (or be granted more quota) before retrying, so retry loops
+    treat it like a fatal allocation failure.  Other tenants' requests
+    are unaffected: quotas isolate, they never cascade.
+    """
 
 
 class RegionNotFoundError(FatalError):

@@ -7,6 +7,14 @@ synchronization primitives (barriers, notifications) that the paper's
 applications use to coordinate — all RPC, none of it ever on the data
 path.
 
+Sharding (see DESIGN.md "Partitioned control plane"): a deployment
+runs ``config.control_shards`` master instances, each one **shard** of
+the metadata namespace addressed by consistent hashing over qualified
+region names (``core/shard.py``).  Every shard owns its own metalog,
+epoch, lease table and repair planner, so one shard crashing and
+recovering never stalls the names the others own.  Shards also enforce
+per-tenant capacity quotas against their slice of the namespace.
+
 Crash recovery (see DESIGN.md "Crash recovery & fencing"): every
 mutating control RPC appends to a write-ahead :class:`MetaLog` before
 replying — the append is the commit point.  A restarted master replays
@@ -30,6 +38,7 @@ from repro.core.errors import (
     RegionNotFoundError,
     RStoreError,
     StaleEpochError,
+    TenantQuotaExceededError,
 )
 from repro.core.metalog import MetaLog, RecoveredState
 from repro.core.region import (
@@ -39,6 +48,12 @@ from repro.core.region import (
     split_into_stripes,
 )
 from repro.core.repair import RepairPlanner
+from repro.core.shard import (
+    ShardMap,
+    shard_service,
+    split_quota,
+    tenant_of,
+)
 from repro.obs import obs_for
 from repro.rdma.cm import ConnectionManager
 from repro.rdma.nic import RNic
@@ -59,11 +74,21 @@ class Master:
         cm: ConnectionManager,
         config: Optional[RStoreConfig] = None,
         metalog: Optional[MetaLog] = None,
+        shard_id: int = 0,
     ):
         self.sim = sim
         self.nic = nic
         self.cm = cm
         self.config = config or RStoreConfig()
+        #: which metadata shard this instance is (0 in the single-master
+        #: deployment); decides namespace ownership and the service id
+        self.shard_id = shard_id
+        self.shard_map = ShardMap(self.config.control_shards)
+        if not 0 <= shard_id < self.shard_map.num_shards:
+            raise ValueError(
+                f"shard_id {shard_id} out of range for "
+                f"{self.shard_map.num_shards} control shards"
+            )
         self.allocator = StripeAllocator(
             policy=self.config.allocation_policy, seed=self.config.seed
         )
@@ -95,6 +120,9 @@ class Master:
         self._recovery_waiters: list = []
         self._awaiting_rejoin: set[int] = set()
         self.obs = obs_for(sim)
+        #: logical bytes (size × target replication) each tenant has
+        #: committed on this shard — the quota ledger
+        self.tenant_bytes: dict[str, int] = {}
 
     def start(self):
         """Boot the master (generator); replays the metalog if any."""
@@ -104,7 +132,8 @@ class Master:
         if recovering:
             yield from self._begin_recovery(state)
         self._rpc = RpcServer(
-            self.sim, self.nic, self.cm, cfg.master_service, cfg.msg_size
+            self.sim, self.nic, self.cm,
+            shard_service(cfg.master_service, self.shard_id), cfg.msg_size
         )
         for method in (
             "register_server",
@@ -153,7 +182,8 @@ class Master:
         must leave ``master.rpc_served`` untouched.
         """
         counter = self.obs.metrics.counter("master.rpc_served",
-                                           method=method)
+                                           method=method,
+                                           shard=self.shard_id)
 
         def wrapped(*args, **kwargs):
             counter.inc()
@@ -199,6 +229,7 @@ class Master:
         self.recovering = True
         self.regions = state.regions
         self._next_region_id = state.next_region_id
+        self._recount_tenants()
         self.epoch = state.epoch + 1
         # servers that were alive at the crash are presumed alive — their
         # arenas are intact — but must re-register within the grace
@@ -273,6 +304,67 @@ class Master:
             for replica in stripe.replicas
             if replica.host_id == host_id
         )
+
+    # -- sharding & tenancy ---------------------------------------------------
+
+    def _owned(self, name: str) -> None:
+        """Refuse a region RPC the shard map routes elsewhere.
+
+        The router never misroutes — this guards against stale clients
+        computed against a different shard count, which must fail loudly
+        rather than split one name's metadata across two WALs.
+        """
+        if self.shard_map.num_shards == 1:
+            return
+        owner = self.shard_map.shard_of(name)
+        if owner != self.shard_id:
+            raise RStoreError(
+                f"region {name!r} belongs to shard {owner}, not shard "
+                f"{self.shard_id} — the caller's shard map is wrong"
+            )
+
+    def _quota_for(self, tenant: str) -> Optional[int]:
+        """This shard's share of *tenant*'s quota (None = unlimited)."""
+        quotas = self.config.tenant_quota_bytes
+        if quotas is None or tenant not in quotas:
+            return None
+        return split_quota(quotas[tenant], self.shard_map.num_shards)
+
+    def _check_quota(self, tenant: str, want: int) -> None:
+        """Admission control: *want* more logical bytes for *tenant*."""
+        quota = self._quota_for(tenant)
+        if quota is None:
+            return
+        used = self.tenant_bytes.get(tenant, 0)
+        if used + want > quota:
+            self.obs.metrics.counter("master.quota_denied", tenant=tenant,
+                                     shard=self.shard_id).inc()
+            raise TenantQuotaExceededError(
+                f"tenant {tenant!r} would hold {used + want} bytes on "
+                f"shard {self.shard_id}, over its {quota}-byte share"
+            )
+
+    def _charge_tenant(self, tenant: str, delta: int) -> None:
+        """Move *tenant*'s ledger by *delta* logical bytes."""
+        used = self.tenant_bytes.get(tenant, 0) + delta
+        self.tenant_bytes[tenant] = max(0, used)
+        self.obs.metrics.gauge("master.tenant_bytes", tenant=tenant,
+                               shard=self.shard_id).set(
+            self.tenant_bytes[tenant]
+        )
+
+    def _recount_tenants(self) -> None:
+        """Rebuild the quota ledger from the (replayed) namespace."""
+        self.tenant_bytes = {}
+        for name, region in self.regions.items():
+            tenant = tenant_of(name)
+            self.tenant_bytes[tenant] = (
+                self.tenant_bytes.get(tenant, 0)
+                + region.size * region.target_replication
+            )
+        for tenant, used in self.tenant_bytes.items():
+            self.obs.metrics.gauge("master.tenant_bytes", tenant=tenant,
+                                   shard=self.shard_id).set(used)
 
     # -- membership -----------------------------------------------------------
 
@@ -424,11 +516,16 @@ class Master:
     def _alloc(self, name, size, stripe_size=None, preferred_host=None,
                replication=None, epoch=None):
         self._fence(epoch)
+        self._owned(name)
         yield from self._ready()
         if name in self.regions:
             raise RegionExistsError(f"region {name!r} already exists")
         stripe_size = stripe_size or self.config.stripe_size
         replication = replication or self.config.default_replication
+        tenant = tenant_of(name)
+        # admission before placement: a quota denial must not consume
+        # placement RNG state or server reservations
+        self._check_quota(tenant, size * replication)
         lengths = split_into_stripes(size, stripe_size)
         placement = self.allocator.place(
             lengths, preferred_host=preferred_host, replication=replication
@@ -445,14 +542,14 @@ class Master:
             for host_id, host_lengths in by_host.items():
                 client = yield from self._server_client(host_id)
                 addrs, rkey = yield from client.call(
-                    "reserve_batch", host_lengths
+                    "reserve_batch", host_lengths, self.shard_id
                 )
                 reserved[host_id] = (addrs, rkey)
         except Exception as exc:
             # Roll back partial reservations and tracked capacity.
             for host_id, (addrs, _rkey) in reserved.items():
                 client = yield from self._server_client(host_id)
-                yield from client.call("release_batch", addrs)
+                yield from client.call("release_batch", addrs, self.shard_id)
             for copies, length in zip(placement, lengths):
                 for host_id in copies:
                     self.allocator.release(host_id, length)
@@ -491,6 +588,7 @@ class Master:
         # reservations above are orphans the next re-registration drops
         yield from self._log("region", region)
         self.regions[name] = region
+        self._charge_tenant(tenant, size * replication)
         return region
 
     def _resize(self, name, new_size, epoch=None):
@@ -501,6 +599,7 @@ class Master:
         re-map before touching the new range.
         """
         self._fence(epoch)
+        self._owned(name)
         yield from self._ready()
         region = self.regions.get(name)
         if region is None:
@@ -528,6 +627,8 @@ class Master:
         old_stripes = list(region.stripes)
         grown = new_size - region.size
         replication = region.target_replication
+        tenant = tenant_of(name)
+        self._check_quota(tenant, grown * replication)
         lengths = split_into_stripes(grown, region.stripe_size)
         placement = self.allocator.place(lengths, replication=replication)
         by_host: dict[int, list[int]] = {}
@@ -539,13 +640,13 @@ class Master:
             for host_id, host_lengths in by_host.items():
                 client = yield from self._server_client(host_id)
                 addrs, rkey = yield from client.call(
-                    "reserve_batch", host_lengths
+                    "reserve_batch", host_lengths, self.shard_id
                 )
                 reserved[host_id] = (addrs, rkey)
         except Exception as exc:
             for host_id, (addrs, _rkey) in reserved.items():
                 client = yield from self._server_client(host_id)
-                yield from client.call("release_batch", addrs)
+                yield from client.call("release_batch", addrs, self.shard_id)
             for copies, length in zip(placement, lengths):
                 for host_id in copies:
                     self.allocator.release(host_id, length)
@@ -571,14 +672,19 @@ class Master:
         region.version += 1
         region.epoch = self.epoch
         yield from self._log("region", region)
+        self._charge_tenant(tenant, grown * replication)
         return region
 
     def _free(self, name, epoch=None):
         self._fence(epoch)
+        self._owned(name)
         yield from self._ready()
         region = self.regions.pop(name, None)
         if region is None:
             raise RegionNotFoundError(f"no region named {name!r}")
+        self._charge_tenant(
+            tenant_of(name), -region.size * region.target_replication
+        )
         # log the intent first: a crash mid-release leaks server-side
         # reservations (reconciled at re-registration) instead of
         # resurrecting a region whose arena bytes were already recycled
@@ -591,7 +697,7 @@ class Master:
             if not self.allocator.server(host_id).alive:
                 continue  # its arena died with it
             client = yield from self._server_client(host_id)
-            yield from client.call("release_batch", addrs)
+            yield from client.call("release_batch", addrs, self.shard_id)
         for stripe in region.stripes:
             for replica in stripe.replicas:
                 self.allocator.release(replica.host_id, stripe.length)
@@ -605,6 +711,7 @@ class Master:
 
     def _lookup(self, name):
         yield self.sim.timeout(0)
+        self._owned(name)
         region = self.regions.get(name)
         if region is None:
             raise RegionNotFoundError(f"no region named {name!r}")
@@ -623,6 +730,8 @@ class Master:
             "regions": len(self.regions),
             "epoch": self.epoch,
             "recovering": self.recovering,
+            "shard": self.shard_id,
+            "tenant_bytes": dict(self.tenant_bytes),
         }
 
     def _repair_status(self):

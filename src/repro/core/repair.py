@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core.errors import FatalError, MasterUnavailableError
 from repro.core.region import StripeReplica
+from repro.core.shard import tenant_of
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.master import Master
@@ -208,7 +209,7 @@ class RepairPlanner:
         try:
             client = yield from self.master._server_client(target)
             addrs, rkey = yield from client.call(
-                "reserve_batch", [stripe.length]
+                "reserve_batch", [stripe.length], self.master.shard_id
             )
             addr = addrs[0]
             # Destination pulls the stripe out of the surviving replica's
@@ -228,7 +229,9 @@ class RepairPlanner:
             allocator.release(target, stripe.length)
             if addr is not None and allocator.host_alive(target):
                 try:
-                    yield from client.call("release_batch", [addr])
+                    yield from client.call(
+                        "release_batch", [addr], self.master.shard_id
+                    )
                 except Exception:  # noqa: BLE001 - target just died
                     pass
             self._retry_or_abandon(task, f"copy via server {target}: {exc}")
@@ -236,6 +239,14 @@ class RepairPlanner:
 
         self._stats.copies_driven += 1
         self._stats.bytes_copied += stripe.length
+        # repair bandwidth is accounted to the tenant whose region is
+        # being healed — the isolation story needs the split, not just
+        # the cluster total
+        self.master.obs.metrics.counter(
+            "master.repair_bytes",
+            tenant=tenant_of(task.region_name),
+            shard=self.master.shard_id,
+        ).inc(stripe.length)
 
         # Re-validate before publishing: the cluster may have changed
         # under the copy (region freed, another failure, target died).
@@ -249,7 +260,9 @@ class RepairPlanner:
             allocator.release(target, stripe.length)
             if allocator.host_alive(target):
                 try:
-                    yield from client.call("release_batch", [addr])
+                    yield from client.call(
+                        "release_batch", [addr], self.master.shard_id
+                    )
                 except Exception:  # noqa: BLE001 - best effort
                     pass
             self._retry_or_abandon(task, "cluster changed during the copy")

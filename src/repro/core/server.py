@@ -11,10 +11,18 @@ opens two fabric services —
   to; all normal traffic on it is one-sided and never schedules a
   single instruction on this host —
 
-and then announces itself to the master and starts heartbeating.  If
-the master replies that it no longer knows us (reboot, or a heartbeat
-gap that tripped the lease checker), the server resets its arena and
-registers again — rejoining is just re-registration.
+and then announces itself to every metadata shard and starts
+heartbeating each one.  If a shard replies that it no longer knows us
+(reboot, or a heartbeat gap that tripped the lease checker), the
+server resets that shard's slice of its arena and registers again —
+rejoining is just re-registration.
+
+With ``config.control_shards > 1`` the donation is carved into one
+sub-arena slice per shard: each shard reserves stripes only from its
+own slice, so a fresh re-registration with one recovering shard wipes
+only that shard's bytes and never recycles memory another shard's
+descriptors still point at.  The MR stays a single registration —
+slicing is pure bookkeeping, the data path is untouched.
 """
 
 from __future__ import annotations
@@ -24,13 +32,13 @@ from typing import Optional
 from repro.core.arena import Arena
 from repro.core.config import RStoreConfig
 from repro.core.errors import DeadlineExceededError, RStoreError
-from repro.coord.base import Backoff
+from repro.core.shard import ShardRouter
 from repro.rdma.cm import ConnectionManager
 from repro.rdma.nic import RNic
 from repro.rdma.types import Access, Opcode, QpState, RdmaError
 from repro.rdma.wr import SendWR
 from repro.rpc.channel import ChannelClosed
-from repro.rpc.endpoint import RpcClient, RpcError, RpcRemoteError, RpcServer
+from repro.rpc.endpoint import RpcError, RpcRemoteError, RpcServer
 from repro.simnet.kernel import Simulator
 from repro.simnet.rand import derive_rng
 
@@ -85,11 +93,16 @@ class MemoryServer:
         self.config = config or RStoreConfig()
         self.capacity = capacity or self.config.server_capacity
         self.host_id = nic.host.host_id
-        self.arena: Optional[Arena] = None
+        #: one sub-arena slice per metadata shard (a single dict entry
+        #: spanning the whole donation when control_shards == 1)
+        self.arenas: dict[int, Arena] = {}
         self.arena_mr = None
         self.alive = False
         self._rpc: Optional[RpcServer] = None
-        self._master: Optional[RpcClient] = None
+        self._router: Optional[ShardRouter] = None
+        #: shards whose rejoin deadline drained — the server only stands
+        #: down once every shard's heartbeat loop has given up
+        self._dead_shards: set[int] = set()
         self._data_pd = None
         #: CQ + QP cache for control-path repair copies from peer arenas
         self._copy_cq = None
@@ -107,7 +120,8 @@ class MemoryServer:
         self.arena_mr = yield from self.nic.reg_mr(
             self._data_pd, length=self.capacity, access=Access.all_remote()
         )
-        self.arena = Arena(self.arena_mr.addr, self.capacity)
+        for shard_id in range(cfg.control_shards):
+            self._reset_shard_arena(shard_id)
 
         self._rpc = RpcServer(
             self.sim, self.nic, self.cm, f"{cfg.mem_service}", cfg.msg_size
@@ -127,12 +141,35 @@ class MemoryServer:
             self._copy_dispatcher(), name=f"copy-dispatch-{self.host_id}"
         )
 
-        self._master = RpcClient(self.sim, self.nic, self.cm)
-        yield from self._master.connect(cfg.master_host, cfg.master_service)
-        yield from self._register(fresh=True)
+        self._router = ShardRouter(self.sim, self.nic, self.cm, cfg)
+        yield from self._router.connect_all()
+        for shard_id in range(cfg.control_shards):
+            yield from self._register(shard_id, fresh=True)
         self.alive = True
-        self.sim.process(self._heartbeat_loop(), name=f"hb-{self.host_id}")
+        for shard_id in range(cfg.control_shards):
+            name = (f"hb-{self.host_id}" if shard_id == 0
+                    else f"hb-{self.host_id}-s{shard_id}")
+            self.sim.process(self._heartbeat_loop(shard_id), name=name)
         return self
+
+    @property
+    def arena(self) -> Optional[Arena]:
+        """The shard-0 sub-arena — the whole donation when unsharded."""
+        return self.arenas.get(0)
+
+    def _shard_extent(self, shard_id: int) -> tuple[int, int]:
+        """``(base, capacity)`` of one shard's slice of the donation."""
+        num = self.config.control_shards
+        if num == 1:
+            return self.arena_mr.addr, self.capacity
+        # equal slices, floored to the arena alignment so every slice
+        # base stays 64-byte aligned; the sub-alignment tail is unused
+        share = (self.capacity // num) & ~63
+        return self.arena_mr.addr + shard_id * share, share
+
+    def _reset_shard_arena(self, shard_id: int) -> None:
+        base, share = self._shard_extent(shard_id)
+        self.arenas[shard_id] = Arena(base, share)
 
     def kill(self) -> None:
         """Fail the whole host: NIC dead, heartbeats stop."""
@@ -141,26 +178,26 @@ class MemoryServer:
 
     # -- RPC handlers -------------------------------------------------------
 
-    def _reserve_batch(self, lengths):
-        """Reserve stripes; returns (addresses, rkey)."""
-        assert self.arena is not None
+    def _reserve_batch(self, lengths, shard=0):
+        """Reserve stripes out of *shard*'s slice; returns (addrs, rkey)."""
+        arena = self.arenas[shard]
         addrs = []
         try:
             for length in lengths:
-                addrs.append(self.arena.reserve(length))
+                addrs.append(arena.reserve(length))
         except Exception:
             for addr in addrs:
-                self.arena.release(addr)
+                arena.release(addr)
             raise
         yield self.sim.timeout(0)
         return addrs, self.arena_mr.rkey
 
-    def _release_batch(self, addrs):
-        assert self.arena is not None
+    def _release_batch(self, addrs, shard=0):
+        arena = self.arenas[shard]
         freed = 0
         for addr in addrs:
             try:
-                freed += self.arena.release(addr)
+                freed += arena.release(addr)
             except RStoreError:
                 # The reservation predates an arena reset (we rejoined
                 # after a false-positive death and re-donated a clean
@@ -241,19 +278,21 @@ class MemoryServer:
 
     def _stats(self):
         yield self.sim.timeout(0)
-        assert self.arena is not None
+        assert self.arenas
         return {
             "host_id": self.host_id,
             "capacity": self.capacity,
-            "free": self.arena.free_bytes,
-            "live_allocations": self.arena.live_allocations,
+            "free": sum(a.free_bytes for a in self.arenas.values()),
+            "live_allocations": sum(
+                a.live_allocations for a in self.arenas.values()
+            ),
         }
 
     # -- liveness -----------------------------------------------------------
 
-    def _heartbeat_loop(self):
-        assert self._master is not None
-        while self.alive:
+    def _heartbeat_loop(self, shard_id: int):
+        assert self._router is not None
+        while self.alive and shard_id not in self._dead_shards:
             extra_delay = 0.0
             if self.faults is not None:
                 action, extra_delay = self.faults.heartbeat_action(self.host_id)
@@ -266,10 +305,11 @@ class MemoryServer:
                     return
             unreachable = False
             try:
+                master = yield from self._router.client_for(shard_id)
                 # the timeout matters under one-way partitions: the
                 # heartbeat arrives but the reply never comes back, and
                 # without a bound this loop would hang forever
-                reply = yield from self._master.call(
+                reply = yield from master.call(
                     "heartbeat", self.host_id,
                     timeout=self.config.lease_timeout_s,
                 )
@@ -283,95 +323,105 @@ class MemoryServer:
             except (RpcError, ChannelClosed, RdmaError):
                 unreachable = True
             if unreachable:
-                # channel death, a timed-out call, or a crashed master:
-                # rejoin within the deadline or stand down for good
-                if not (yield from self._rejoin_master()):
-                    self.alive = False
+                # channel death, a timed-out call, or a crashed shard:
+                # rejoin within the deadline or give this shard up —
+                # the server stands down only when every shard is gone
+                if not (yield from self._rejoin_master(shard_id)):
+                    self._stand_down(shard_id)
                     return
                 continue
             if isinstance(reply, dict) and reply.get("needs_register"):
                 try:
-                    yield from self._reregister()
+                    yield from self._reregister(shard_id)
                 except (RpcError, ChannelClosed, RdmaError):
-                    if not (yield from self._rejoin_master()):
-                        self.alive = False
+                    if not (yield from self._rejoin_master(shard_id)):
+                        self._stand_down(shard_id)
                         return
                     continue
             yield self.sim.timeout(self.config.heartbeat_interval_s)
 
-    def _register(self, fresh: bool):
-        """Announce our donation to the master (generator).
+    def _stand_down(self, shard_id: int) -> None:
+        """One shard's rejoin deadline drained for good.
 
-        A *fresh* registration donates a clean arena; the epoch in the
-        reply becomes this NIC's fence, so one-sided ops stamped with
-        descriptors from an older era bounce instead of touching
-        recycled bytes.  A non-fresh one (master restart) keeps the
-        arena: the reply lists the reservations the replayed metadata
-        vouches for, and everything else — allocations whose commit
-        record never hit the log — is dropped as an orphan.
+        Other shards' slices stay donated; only when the last shard is
+        unreachable does the server die (matching the single-master
+        behaviour exactly when ``control_shards == 1``).
         """
-        assert self._master is not None and self.arena is not None
-        reply = yield from self._master.call(
-            "register_server", self.host_id, self.capacity,
+        self._dead_shards.add(shard_id)
+        if len(self._dead_shards) >= self.config.control_shards:
+            self.alive = False
+
+    def _register(self, shard_id: int, fresh: bool):
+        """Announce our slice to one metadata shard (generator).
+
+        A *fresh* registration donates a clean slice; the epoch in the
+        reply becomes this NIC's fence for that shard, so one-sided ops
+        stamped with descriptors from an older era bounce instead of
+        touching recycled bytes.  A non-fresh one (shard restart) keeps
+        the slice: the reply lists the reservations the replayed
+        metadata vouches for, and everything else — allocations whose
+        commit record never hit the log — is dropped as an orphan.
+        """
+        assert self._router is not None
+        master = yield from self._router.client_for(shard_id)
+        arena = self.arenas[shard_id]
+        reply = yield from master.call(
+            "register_server", self.host_id, arena.capacity,
             self.arena_mr.rkey, fresh,
             timeout=self.config.control_deadline_s,
         )
-        # the master has the last word on freshness: a server that asked
-        # to keep its arena across a master restart may find its lease
+        # the shard has the last word on freshness: a server that asked
+        # to keep its slice across a master restart may find its lease
         # expired during the outage, in which case it was buried and
         # must come back with a wiped slate and a bumped fence
         if reply.get("fresh", fresh):
             if not fresh:
-                self.arena = Arena(self.arena_mr.addr, self.capacity)
-            self.nic.fence_epoch = reply["epoch"]
+                self._reset_shard_arena(shard_id)
+            self.nic.set_fence(shard_id, reply["epoch"])
         else:
-            self.arena.retain(addr for addr, _length in reply["live"])
+            arena.retain(addr for addr, _length in reply["live"])
         return reply
 
-    def _rejoin_master(self):
-        """Reconnect to a (restarted) master (generator).
+    def _rejoin_master(self, shard_id: int):
+        """Reconnect to one (restarted) metadata shard (generator).
 
         Retries with backoff until ``server_rejoin_deadline_s`` drains,
-        then returns False — the caller stands the server down, though
-        its NIC stays up so in-flight one-sided traffic still completes
-        until the master buries us and clients remap away.
-        Re-registration is *not* fresh: the arena survives a master
+        then returns False — the caller retires this shard, though the
+        NIC stays up so in-flight one-sided traffic still completes
+        until the shard buries us and clients remap away.
+        Re-registration is *not* fresh: the slice survives a master
         crash, and the replayed log tells us which reservations to keep.
         """
+        assert self._router is not None
         cfg = self.config
-        backoff = Backoff(
-            self.sim,
-            derive_rng(cfg.seed, f"server-rejoin-{self.host_id}"),
-            base_s=cfg.retry_backoff_base_s,
-            max_s=cfg.retry_backoff_max_s,
-            deadline=self.sim.now + cfg.server_rejoin_deadline_s,
-        )
+        label = (f"server-rejoin-{self.host_id}" if shard_id == 0
+                 else f"server-rejoin-{self.host_id}-s{shard_id}")
+        rng = derive_rng(cfg.seed, label)
+        deadline = self.sim.now + cfg.server_rejoin_deadline_s
         while self.alive:
             try:
-                yield from backoff.pause()
+                yield from self._router.redial(shard_id, deadline, rng)
             except DeadlineExceededError:
                 return False
-            master = RpcClient(self.sim, self.nic, self.cm)
             try:
-                yield from master.connect(cfg.master_host, cfg.master_service)
-                self._master = master
-                yield from self._register(fresh=False)
+                yield from self._register(shard_id, fresh=False)
             except (RpcError, ChannelClosed, RdmaError):
+                self._router.drop(shard_id)
                 continue
             return True
         return False
 
-    def _reregister(self):
-        """Rejoin after the master forgot us (generator).
+    def _reregister(self, shard_id: int):
+        """Rejoin after one shard forgot us (generator).
 
-        The master has already dropped every replica we hosted, so our
-        old reservations are orphaned: reset the arena bookkeeping and
-        donate the full capacity again.  The arena MR stays registered,
-        so clients holding stale descriptors can still complete in-flight
-        one-sided reads against the old bytes until they remap — the
-        fence epoch from the fresh registration is what finally cuts
-        them off.
+        The shard has already dropped every replica we hosted for it,
+        so our old reservations in its slice are orphaned: reset that
+        slice's bookkeeping and donate it again.  The arena MR stays
+        registered, so clients holding stale descriptors can still
+        complete in-flight one-sided reads against the old bytes until
+        they remap — the fence epoch from the fresh registration is
+        what finally cuts them off.
         """
         assert self.arena_mr is not None
-        self.arena = Arena(self.arena_mr.addr, self.capacity)
-        yield from self._register(fresh=True)
+        self._reset_shard_arena(shard_id)
+        yield from self._register(shard_id, fresh=True)

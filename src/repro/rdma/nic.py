@@ -48,8 +48,13 @@ class RNic:
         self.alive = True
         #: epoch fence: one-sided WRs stamped with an epoch below this
         #: are NAK'd ("stale epoch") instead of touching memory — set by
-        #: the memory server when it re-registers with a recycled arena
+        #: the memory server when it re-registers with a recycled arena.
+        #: Epochs are per control-plane shard (shards recover
+        #: independently); this attribute is shard 0's fence and
+        #: ``_shard_fences`` carries the rest — WRs say which fence
+        #: applies via their ``shard`` stamp.
         self.fence_epoch = 0
+        self._shard_fences: dict[int, int] = {}
         #: optional fault-injection hook: ``hook(host_id, wr) -> str``
         #: returning a non-empty detail fails the WR with RETRY_EXC_ERR
         #: *before* it leaves this NIC (the remote side never sees it)
@@ -73,6 +78,20 @@ class RNic:
         self._m_bytes_sent = _m.counter("rnic.bytes_sent", host=_host)
         self._m_doorbells = _m.counter("rnic.doorbells_rung", host=_host)
         host.services["rnic"] = self
+
+    # -- epoch fencing --------------------------------------------------------
+
+    def set_fence(self, shard_id: int, epoch: int) -> None:
+        """Fence one shard's era: one-sided WRs carrying that shard's
+        stamp with an older epoch NAK instead of touching memory."""
+        if shard_id == 0:
+            self.fence_epoch = epoch
+        else:
+            self._shard_fences[shard_id] = epoch
+
+    def fence_for(self, shard_id: int) -> int:
+        return (self.fence_epoch if shard_id == 0
+                else self._shard_fences.get(shard_id, 0))
 
     # -- metrics (registry-backed; see repro.obs) -----------------------------
 
@@ -378,11 +397,13 @@ class RNic:
         self, remote: "RNic", wr: SendWR, need: Access
     ) -> tuple[Optional[MemoryRegion], str]:
         epoch = getattr(wr, "epoch", None)
-        if epoch is not None and epoch < remote.fence_epoch:
-            return None, (
-                f"stale epoch {epoch} fenced (server is at epoch "
-                f"{remote.fence_epoch})"
-            )
+        if epoch is not None:
+            fence = remote.fence_for(getattr(wr, "shard", 0))
+            if epoch < fence:
+                return None, (
+                    f"stale epoch {epoch} fenced (server is at epoch "
+                    f"{fence})"
+                )
         mr = remote.mr_by_rkey.get(wr.rkey)
         if mr is None:
             return None, f"no memory region with rkey {wr.rkey}"

@@ -36,9 +36,10 @@ synchronization vocabulary — nothing new is invented:
   (and releases its cumulative head so producers reusing a slot join
   the consumer).
 * **Master control path** — every control RPC releases-then-acquires
-  one coarse ``("master",)`` key.  This intentionally over-synchronizes
-  (alloc/map/lookup all serialize through the single-threaded master),
-  trading false negatives for zero control-path false positives.
+  one coarse ``("master", shard)`` key.  This intentionally
+  over-synchronizes (alloc/map/lookup serialize through the owning
+  single-threaded metadata shard), trading false negatives for zero
+  control-path false positives.
 
 The watermark split
 -------------------

@@ -88,7 +88,8 @@ class FaultInjector:
         self.seed = seed
         self._rng = derive_rng(seed, "fault-injector")
         self._crashes: list[tuple[float, int]] = []
-        self._master_crashes: list[tuple[float, Optional[float]]] = []
+        #: (at, restart_after, shard) triples
+        self._master_crashes: list[tuple[float, Optional[float], int]] = []
         self._heartbeat: dict[int, list[_Window]] = {}
         self._rpc: dict[int, list[_Window]] = {}
         self._wire: dict[int, list[_Window]] = {}
@@ -109,19 +110,21 @@ class FaultInjector:
         return self
 
     def crash_master(self, at: float,
-                     restart_after: Optional[float] = None) -> "FaultInjector":
-        """Fail-stop the master *at* seconds in; optionally restart it
-        *restart_after* seconds later.
+                     restart_after: Optional[float] = None,
+                     shard: int = 0) -> "FaultInjector":
+        """Fail-stop one metadata shard's master *at* seconds in;
+        optionally restart it *restart_after* seconds later.
 
-        The crash loses every piece of in-memory master state —
-        namespace, membership, in-flight repair — and tears down every
-        control-plane connection.  The restart replays the metadata
-        write-ahead log and runs the recovery protocol (epoch bump,
-        re-registration grace, repair resumption).
+        The crash loses every piece of that shard's in-memory state —
+        namespace slice, membership, in-flight repair — and tears down
+        every control-plane connection to it; other shards keep
+        serving.  The restart replays the shard's write-ahead log and
+        runs the recovery protocol (epoch bump, re-registration grace,
+        repair resumption).
         """
         if restart_after is not None and restart_after <= 0:
             raise ValueError("restart_after must be positive")
-        self._master_crashes.append((at, restart_after))
+        self._master_crashes.append((at, restart_after, shard))
         return self
 
     def partition(self, groups, start: float,
@@ -233,8 +236,9 @@ class FaultInjector:
             server.faults = self
             if server._rpc is not None and host_id in self._rpc:
                 server._rpc.fault_hook = self._rpc_hook(host_id)
-        master = cluster.master
-        if master is not None:
+        for master in cluster.masters:
+            if master is None:
+                continue
             master_host = master.nic.host.host_id
             if master_host in self._rpc:
                 master._rpc.fault_hook = self._rpc_hook(master_host)
@@ -247,11 +251,12 @@ class FaultInjector:
             cluster.sim.process(
                 self._crash_proc(at, host_id), name=f"fault-crash-{host_id}"
             )
-        for index, (at, restart_after) in enumerate(
-            sorted(self._master_crashes)
+        for index, (at, restart_after, shard) in enumerate(
+            sorted(self._master_crashes,
+                   key=lambda c: (c[0], c[2]))
         ):
             cluster.sim.process(
-                self._master_crash_proc(at, restart_after),
+                self._master_crash_proc(at, restart_after, shard),
                 name=f"fault-crash-master-{index}",
             )
         if self._partitions:
@@ -352,19 +357,21 @@ class FaultInjector:
         self._note(f"crashed server {host_id}")
         self._cluster.kill_server(host_id)
 
-    def _master_crash_proc(self, at: float, restart_after: Optional[float]):
+    def _master_crash_proc(self, at: float, restart_after: Optional[float],
+                           shard: int):
         yield self._cluster.sim.timeout(at)
-        if self._cluster.master is None or not self._cluster.master.alive:
+        master = self._cluster.masters[shard]
+        if master is None or not master.alive:
             return
         self.injected["master_crashes"] += 1
-        self._note("crashed the master")
-        self._cluster.crash_master()
+        self._note(f"crashed the master (shard {shard})")
+        self._cluster.crash_master(shard)
         if restart_after is None:
             return
         yield self._cluster.sim.timeout(restart_after)
-        self._note("restarting the master")
-        yield from self._cluster.restart_master()
-        self._note("master restarted")
+        self._note(f"restarting the master (shard {shard})")
+        yield from self._cluster.restart_master(shard)
+        self._note(f"master restarted (shard {shard})")
 
     def _partition_filter(self, src: int, dst: int) -> bool:
         now = self._now()

@@ -11,7 +11,7 @@ scenarios without writing simulation code:
 * ``kv``                  — the one-sided KV table vs a sockets KV
 * ``stats``               — traced run: per-layer latency + call census
 * ``trace``               — traced run: the raw span timeline
-* ``lint``                — repro-lint: check repo invariants (RL001-4)
+* ``lint``                — repro-lint: check repo invariants (RL001-6)
 
 All numbers printed are simulated time/throughput.
 """
@@ -30,10 +30,12 @@ from repro.simnet.config import GiB, KiB, MiB, NetworkConfig, us
 __all__ = ["main"]
 
 
-def _build(machines: int, stripe_kib: int, capacity_mib: int):
+def _build(machines: int, stripe_kib: int, capacity_mib: int,
+           shards: int = 1):
     return build_cluster(
         num_machines=machines,
-        config=RStoreConfig(stripe_size=stripe_kib * KiB),
+        config=RStoreConfig(stripe_size=stripe_kib * KiB,
+                            control_shards=shards),
         server_capacity=capacity_mib * MiB,
     )
 
@@ -303,39 +305,58 @@ def cmd_txn(args) -> int:
 def _traced_run(args):
     """One traced E13-shaped run: warm up, then batched steady reads.
 
-    Returns ``(cluster, obs, setup_census)`` — the census snapshot is
-    taken after warm-up, so the steady-state delta isolates the pure
-    data path.
+    Two tenants (``acme``, ``globex``) each own a region, sharded over
+    ``args.shards`` metadata shards.  Returns ``(cluster, obs,
+    baseline)`` where *baseline* holds the post-warm-up census
+    snapshots plus the warm-cache re-map RPC count, so the steady-state
+    delta isolates the pure data path per shard.
     """
     from repro.obs import obs_for
-    from repro.obs.report import call_census
+    from repro.obs.report import call_census, shard_census
 
-    cluster = _build(args.machines, stripe_kib=64, capacity_mib=64)
+    shards = max(1, getattr(args, "shards", 1))
+    cluster = _build(args.machines, stripe_kib=64, capacity_mib=64,
+                     shards=shards)
     obs = obs_for(cluster.sim)
     obs.tracer.enable()
     client = cluster.client(1)
     region = 2 * MiB
     window = max(1, args.window)
+    names = ["acme/obs", "globex/obs"]
 
     def offset(i):
         return ((i * 37) % (region // (8 * KiB))) * 8 * KiB
 
     def app():
         # -- setup (control path): alloc, map, connect, warm every QP
-        yield from client.alloc("obs", region)
-        mapping = yield from client.map("obs")
-        for i in range(args.machines):
-            yield from mapping.read(i * (region // args.machines), 8)
-        baseline = call_census(obs.metrics)
-        # -- steady state (data path): batched one-sided reads
+        mappings = []
+        for name in names:
+            yield from client.alloc(name, region)
+            mapping = yield from client.map(name)
+            for i in range(args.machines):
+                yield from mapping.read(i * (region // args.machines), 8)
+            mappings.append(mapping)
+        baseline = {
+            "census": call_census(obs.metrics),
+            "shards": shard_census(obs.metrics),
+        }
+        # -- steady state (data path): batched one-sided reads spread
+        # across both tenants' regions
         done = 0
         while done < args.ops:
             batch = client.batch()
             for i in range(done, min(done + window, args.ops)):
-                yield from batch.read(mapping, offset(i), args.op_bytes)
+                yield from batch.read(mappings[i % len(mappings)],
+                                      offset(i), args.op_bytes)
             yield from batch.flush()
             yield from batch.wait_all()
             done += window
+        # -- warm-cache proof: re-mapping under a live lease must not
+        # issue a single control RPC
+        before = client.master_calls
+        for name in names:
+            yield from client.map(name)
+        baseline["warm_map_rpcs"] = client.master_calls - before
         return baseline
 
     baseline = cluster.run_app(app())
@@ -348,17 +369,20 @@ def cmd_stats(args) -> int:
         format_counters,
         format_table,
         layer_breakdown,
+        shard_census,
+        tenant_census,
     )
 
     _cluster, obs, baseline = _traced_run(args)
     print(f"traced run: {args.ops} reads of {args.op_bytes} B, "
-          f"batch window {args.window}, {args.machines} machines\n")
+          f"batch window {args.window}, {args.machines} machines, "
+          f"{args.shards} control shard(s)\n")
     print(format_table(
         "data-path latency by layer (simulated µs)",
         ["layer", "n", "p50", "p95", "p99", "max"],
         layer_breakdown(obs.metrics),
     ))
-    steady = call_census(obs.metrics, baseline=baseline)
+    steady = call_census(obs.metrics, baseline=baseline["census"])
     print("\ncontrol vs data census (steady state, after warm-up):")
     for key, value in steady.items():
         print(f"  {key} = {value}")
@@ -366,9 +390,31 @@ def cmd_stats(args) -> int:
                "fully one-sided" if steady["master_rpcs"] == 0 else
                "WARNING: the steady state touched the master")
     print(f"  -> {verdict}")
+
+    per_shard = shard_census(obs.metrics, baseline=baseline["shards"])
+    print("\nper-shard steady-state control RPCs:")
+    print(format_table(
+        "", ["shard", "rpcs"],
+        [[str(s), str(n)] for s, n in per_shard.items()],
+    ))
+    warm = baseline["warm_map_rpcs"]
+    warm_note = ("OK: leases served from the client cache" if warm == 0
+                 else "WARNING: the cache missed under a live lease")
+    print(f"  warm-cache re-map issued {warm} control RPC(s) — {warm_note}")
+
+    tenants = tenant_census(obs.metrics)
+    if tenants:
+        print("\nper-tenant accounting:")
+        print(format_table(
+            "", ["tenant", "bytes", "quota_denied", "repair_bytes"],
+            [[t, str(r["bytes"]), str(r["quota_denied"]),
+              str(r["repair_bytes"])] for t, r in tenants.items()],
+        ))
     print("\ncounters:")
     print(format_counters(obs.metrics))
-    return 0 if steady["master_rpcs"] == 0 else 1
+    shards_quiet = all(n == 0 for n in per_shard.values())
+    ok = steady["master_rpcs"] == 0 and shards_quiet and warm == 0
+    return 0 if ok else 1
 
 
 def cmd_trace(args) -> int:
@@ -433,6 +479,8 @@ def main(argv=None) -> int:
         p.add_argument("--op-bytes", type=int, default=128)
         p.add_argument("--window", type=int, default=16,
                        help="ops per batched flush")
+        p.add_argument("--shards", type=int, default=2,
+                       help="metadata shards in the control plane")
         if name == "trace":
             p.add_argument("--limit", type=int, default=60,
                            help="spans to print")

@@ -1,6 +1,6 @@
 """repro-lint: AST checks for invariants ruff cannot express.
 
-Five rule families, each guarding a design contract of this repo:
+Six rule families, each guarding a design contract of this repo:
 
 * **RL001 — control-path isolation.**  Data-path modules (any file
   under a ``coord``, ``graph``, ``sort``, ``kv`` or ``txn`` directory)
@@ -29,6 +29,13 @@ Five rule families, each guarding a design contract of this repo:
   retry loop outside ``simnet/`` must be visibly bounded — by a
   deadline, an attempt budget, or a :class:`Backoff` with a deadline —
   or carry an explicit allow comment.
+* **RL006 — master endpoints dial through the shard router.**  Since
+  the control plane partitioned into metadata shards, the only code
+  allowed to name a master's wire endpoint (``config.master_service``)
+  is the shard layer itself (``core/shard*.py``) and the master that
+  binds it (``core/master.py``).  Everyone else asks the
+  :class:`ShardRouter` — otherwise a module silently pins itself to
+  shard 0 and breaks under ``control_shards > 1``.
 
 Findings print as ``path:line: RLxxx message``; the process exits
 nonzero if any survive.  Suppress a deliberate finding with a trailing
@@ -93,6 +100,10 @@ LAYERS = {
 #: (RL005) — deadlines, budgets, attempt counters, Backoff expiry
 BOUND_TOKENS = ("deadline", "budget", "attempt", "expired", "remaining",
                 "limit")
+
+#: file basenames allowed to touch ``master_service`` directly (RL006):
+#: the shard layer that owns endpoint naming, and the master binding it
+DIAL_ALLOWED_FILES = ("master.py", "shard")
 
 _NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 _PREFIX_RE = re.compile(r"^[a-z0-9_.]+$")
@@ -204,6 +215,8 @@ class _Checker(ast.NodeVisitor):
         parts = set(path.parts)
         self.data_path = bool(parts & DATA_PATH_SEGMENTS)
         self.in_simnet = "simnet" in parts
+        self.may_dial_master = (path.name == "config.py"
+                                or path.name.startswith(DIAL_ALLOWED_FILES))
         self.func_stack: list[str] = []
         self.violations: list[Violation] = []
 
@@ -258,6 +271,16 @@ class _Checker(ast.NodeVisitor):
                           "continues with no deadline, budget, or attempt "
                           "bound in sight — a partition spins this loop "
                           "forever")
+        self.generic_visit(node)
+
+    # -- RL006: direct master endpoint naming --------------------------------
+
+    def visit_Attribute(self, node):
+        if node.attr == "master_service" and not self.may_dial_master:
+            self.flag(node, "RL006",
+                      "names the master wire endpoint (.master_service) "
+                      "directly — dial through the ShardRouter so the call "
+                      "reaches the owning metadata shard")
         self.generic_visit(node)
 
     # -- RL003: dropped futures ----------------------------------------------

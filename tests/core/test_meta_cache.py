@@ -1,0 +1,169 @@
+"""Client metadata cache: leases, single-flight, invalidation.
+
+The cache contract: under a live lease, ``map`` never touches a
+master; an epoch bump (master restart) or an explicit ``free`` evicts;
+a missing name is remembered only for ``meta_negative_ttl_s``; and N
+concurrent misses for the same cold name coalesce onto exactly one
+lookup RPC.
+"""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.core import RStoreConfig
+from repro.core.errors import RegionNotFoundError
+from repro.simnet.config import KiB, MiB
+
+
+def fresh_cluster(**overrides):
+    config = RStoreConfig(stripe_size=64 * KiB, **overrides)
+    return build_cluster(
+        num_machines=4, config=config, server_capacity=64 * MiB,
+    )
+
+
+def test_warm_map_issues_zero_master_rpcs():
+    cluster = fresh_cluster()
+    client = cluster.client(1)
+
+    def app():
+        yield from client.alloc("leased", 256 * KiB)
+        baseline = client.master_calls
+        for _ in range(8):
+            yield from client.map("leased")
+        assert client.master_calls == baseline, (
+            "map under a live lease went to the master"
+        )
+        assert client.metadata_cache_hits >= 8
+
+    cluster.run_app(app())
+
+
+def test_lease_expiry_refetches_once():
+    cluster = fresh_cluster(meta_lease_s=0.05)
+    client = cluster.client(1)
+
+    def app():
+        yield from client.alloc("leased", 256 * KiB)
+        yield cluster.sim.timeout(0.1)  # outlive the lease
+        misses = client.metadata_cache_misses
+        baseline = client.master_calls
+        yield from client.map("leased")
+        assert client.master_calls == baseline + 1
+        assert client.metadata_cache_misses == misses + 1
+        # the refetch renewed the lease: the next map is warm again
+        yield from client.map("leased")
+        assert client.master_calls == baseline + 1
+
+    cluster.run_app(app())
+
+
+def test_free_evicts_the_lease():
+    cluster = fresh_cluster()
+    client = cluster.client(1)
+
+    def app():
+        yield from client.alloc("gone", 128 * KiB)
+        yield from client.map("gone")
+        yield from client.free("gone")
+        with pytest.raises(RegionNotFoundError):
+            yield from client.map("gone")
+
+    cluster.run_app(app())
+
+
+def test_negative_entries_expire():
+    cluster = fresh_cluster(meta_negative_ttl_s=0.05)
+    client = cluster.client(1)
+
+    def app():
+        with pytest.raises(RegionNotFoundError):
+            yield from client.map("phantom")
+        # inside the TTL: the refusal is served from the cache
+        baseline = client.master_calls
+        with pytest.raises(RegionNotFoundError):
+            yield from client.map("phantom")
+        assert client.master_calls == baseline
+        # once the TTL lapses (and the region exists) map succeeds
+        yield cluster.sim.timeout(0.1)
+        yield from client.alloc("phantom", 128 * KiB)
+        mapping = yield from client.map("phantom")
+        assert mapping is not None
+
+    cluster.run_app(app())
+
+
+def test_epoch_bump_evicts_cached_leases():
+    cluster = fresh_cluster()
+    client = cluster.client(1)
+
+    def setup():
+        yield from client.alloc("fenced", 256 * KiB)
+        mapping = yield from client.map("fenced")
+        yield from mapping.write(0, b"x" * 512)
+
+    cluster.run_app(setup())
+    cluster.crash_master()
+    cluster.run_app(cluster.restart_master())
+    cluster.run(until=cluster.sim.now + 0.5)
+
+    def after():
+        # a stale-cached mapping still serves one-sided reads — the
+        # surviving server kept its arena, so the data never moved
+        mapping = yield from client.map("fenced")
+        data = yield from mapping.read(0, 512)
+        assert data == b"x" * 512
+        # the next control mutation carries the stale observed epoch,
+        # gets fenced, refreshes — and the refreshed epoch evicts the
+        # cached lease, so the following map refetches
+        yield from client.alloc("other", 128 * KiB)
+        assert client.retries_fenced > 0
+        misses = client.metadata_cache_misses
+        yield from client.map("fenced")
+        assert client.metadata_cache_misses == misses + 1
+
+    cluster.run_app(after())
+
+
+def test_32_concurrent_misses_coalesce_to_one_rpc():
+    cluster = fresh_cluster()
+    owner = cluster.client(2)
+    client = cluster.client(1)
+
+    def setup():
+        yield from owner.alloc("popular", 256 * KiB)
+
+    cluster.run_app(setup())
+    assert client.master_calls == 0
+    mapped = []
+
+    def mapper():
+        mapping = yield from client.map("popular")
+        mapped.append(mapping)
+
+    def storm():
+        procs = [cluster.sim.process(mapper(), name=f"mapper-{i}")
+                 for i in range(32)]
+        yield cluster.sim.all_of(procs)
+
+    cluster.run_app(storm())
+    assert len(mapped) == 32
+    assert client.master_calls == 1, (
+        "a concurrent-miss storm must cost exactly one lookup RPC"
+    )
+    assert client.metadata_cache_misses == 1
+    assert client.metadata_cache_coalesced == 31
+
+
+def test_cache_disabled_falls_back_to_per_map_lookups():
+    cluster = fresh_cluster(metadata_cache=False)
+    client = cluster.client(1)
+
+    def app():
+        yield from client.alloc("uncached", 128 * KiB)
+        baseline = client.master_calls
+        yield from client.map("uncached")
+        yield from client.map("uncached")
+        assert client.master_calls == baseline + 2
+
+    cluster.run_app(app())

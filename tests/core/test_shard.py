@@ -1,0 +1,95 @@
+"""Shard map, tenancy, and quota-splitting unit tests.
+
+The ring must be a pure function of the shard count — every client,
+server and master derives the identical map with no exchange — and the
+tenancy helpers must agree on where a namespace boundary sits.
+"""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.core import RStoreConfig
+from repro.core.shard import (
+    DEFAULT_TENANT,
+    ShardMap,
+    shard_service,
+    split_quota,
+    tenant_of,
+)
+from repro.simnet.config import KiB, MiB
+
+
+def test_tenant_of_namespace_qualified_names():
+    assert tenant_of("acme/table") == "acme"
+    assert tenant_of("acme/a/b") == "acme"
+    assert tenant_of("bare") == DEFAULT_TENANT
+    # a degenerate separator does not make an empty tenant or name
+    assert tenant_of("/x") == DEFAULT_TENANT
+    assert tenant_of("x/") == DEFAULT_TENANT
+
+
+def test_shard_service_keeps_shard0_wire_compatible():
+    assert shard_service("rstore-master", 0) == "rstore-master"
+    assert shard_service("rstore-master", 3) == "rstore-master.3"
+
+
+def test_split_quota_ceils_and_keeps_unlimited():
+    assert split_quota(None, 4) is None
+    assert split_quota(100, 1) == 100
+    assert split_quota(100, 3) == 34
+    assert split_quota(99, 3) == 33
+
+
+def test_single_shard_map_owns_everything():
+    ring = ShardMap(1)
+    assert all(ring.shard_of(f"n{i}") == 0 for i in range(100))
+
+
+def test_shard_map_is_deterministic_across_instances():
+    a, b = ShardMap(4), ShardMap(4)
+    names = [f"tenant{i % 3}/region-{i}" for i in range(200)]
+    assert [a.shard_of(n) for n in names] == [b.shard_of(n) for n in names]
+
+
+def test_shard_map_spreads_names_across_all_shards():
+    ring = ShardMap(4)
+    names = [f"t{i % 5}/r{i}" for i in range(1000)]
+    owned = {s: ring.names_owned(names, s) for s in range(4)}
+    # ownership partitions the namespace
+    assert sorted(n for names_ in owned.values() for n in names_) == (
+        sorted(names)
+    )
+    # consistent hashing with 64 vnodes keeps the split roughly even
+    for shard, share in owned.items():
+        assert len(share) > 100, (
+            f"shard {shard} owns only {len(share)}/1000 names"
+        )
+
+
+def test_shard_map_rejects_out_of_range_ids():
+    ring = ShardMap(2)
+    with pytest.raises(ValueError):
+        ShardMap(0)
+    assert set(ring.shard_of(f"k{i}") for i in range(50)) <= {0, 1}
+
+
+def test_sharded_cluster_routes_each_name_to_its_owner():
+    config = RStoreConfig(stripe_size=64 * KiB, control_shards=3)
+    cluster = build_cluster(
+        num_machines=4, config=config, server_capacity=48 * MiB,
+    )
+    client = cluster.client(1)
+    names = [f"t{i % 2}/r{i}" for i in range(12)]
+
+    def app():
+        for name in names:
+            yield from client.alloc(name, 64 * KiB)
+        listed = yield from client.list_regions()
+        assert sorted(listed) == sorted(names)
+
+    cluster.run_app(app())
+    # every shard holds exactly the names the ring assigns it
+    ring = ShardMap(3)
+    for shard, master in enumerate(cluster.masters):
+        expected = set(ring.names_owned(names, shard))
+        assert set(master.regions) == expected

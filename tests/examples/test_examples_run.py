@@ -70,3 +70,11 @@ def test_master_failover_example():
     assert "alloc failed fast" in out
     assert "replayed from the WAL" in out
     assert "no committed region lost" in out
+
+
+def test_multi_tenant_example():
+    out = run_example("multi_tenant.py")
+    assert "denied at allocation" in out
+    assert "unaffected by acme's quota" in out
+    assert "re-map cost 0 master RPCs" in out
+    assert "ledger : shard 1" in out

@@ -1,0 +1,23 @@
+"""Fixture: RL006 — master endpoints dial through the shard router.
+
+Bad: naming ``config.master_service`` from ordinary code (the module
+pins itself to one shard and bypasses routing).  Good: asking the
+shard router for a client, or touching unrelated config fields.
+"""
+
+
+def dials_the_master_directly(client, config):
+    return client.connect(config.master_host,
+                          config.master_service)  # -> RL006
+
+
+def builds_an_endpoint_label(self):
+    return f"{self.config.master_service}.7"  # -> RL006
+
+
+def routes_properly(router, shard_id):
+    return router.client_for(shard_id)
+
+
+def reads_other_config_fields(config):
+    return (config.master_host, config.control_shards)

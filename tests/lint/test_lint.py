@@ -26,6 +26,7 @@ FIXTURES = {
     "RL003": HERE / "fixture_rl003.py",
     "RL004": HERE / "fixture_rl004.py",
     "RL005": HERE / "fixture_rl005.py",
+    "RL006": HERE / "fixture_rl006.py",
 }
 
 

@@ -71,6 +71,19 @@ def test_stats_proves_zero_steady_state_master_rpcs(capsys):
     assert "data_ops = 48" in out
 
 
+def test_stats_proves_per_shard_census_and_tenant_isolation(capsys):
+    assert main(["stats", "--machines", "3", "--ops", "32",
+                 "--window", "8", "--shards", "2"]) == 0
+    out = capsys.readouterr().out
+    # every shard's steady-state delta is zero, not just the total
+    assert "per-shard steady-state control RPCs:" in out
+    assert "warm-cache re-map issued 0 control RPC(s)" in out
+    assert "leases served from the client cache" in out
+    # both tenants appear with their logical bytes and no denials
+    assert "acme" in out and "globex" in out
+    assert "client.metadata_cache_hits" in out
+
+
 def test_trace_prints_span_timeline(capsys):
     assert main(["trace", "--machines", "3", "--ops", "8",
                  "--window", "4", "--limit", "500"]) == 0
