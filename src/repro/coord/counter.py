@@ -14,8 +14,13 @@ hammering the hosting NIC.
 from __future__ import annotations
 
 from repro.coord.base import read_word, region_name
+from repro.datapath.policy import AdaptiveSelector, PathPolicy
 
 __all__ = ["AtomicCounter"]
+
+#: burst substrates: remote-fetch degrades to server-op for counters
+#: (post-add values are tiny), so the chooser only weighs these two
+_BURST_MODES = (PathPolicy.ONE_SIDED, PathPolicy.SERVER_OP)
 
 
 class AtomicCounter:
@@ -31,17 +36,19 @@ class AtomicCounter:
         #: last value observed by this handle (post-op for ``add``)
         self.cached = 0
         self._cached_at = float("-inf")
+        #: lazily built burst-mode chooser (adaptive policy only)
+        self._selector = None
 
     # -- setup (control path) ------------------------------------------------
 
     @classmethod
     def create(cls, client, name: str, initial: int = 0,
-               preferred_host=None):
+               preferred_host=None, path_policy=None):
         """Allocate and map a fresh counter region (generator)."""
         region = region_name(name)
         yield from client.alloc(region, cls.REGION_SIZE, replication=1,
                                 preferred_host=preferred_host)
-        mapping = yield from client.map(region)
+        mapping = yield from client.map(region, path_policy=path_policy)
         counter = cls(client, name, mapping)
         if initial:
             yield from counter.mapping.write(
@@ -51,9 +58,10 @@ class AtomicCounter:
         return counter
 
     @classmethod
-    def open(cls, client, name: str):
+    def open(cls, client, name: str, path_policy=None):
         """Map an existing counter from another client (generator)."""
-        mapping = yield from client.map(region_name(name))
+        mapping = yield from client.map(region_name(name),
+                                        path_policy=path_policy)
         return cls(client, name, mapping)
 
     # -- steady state (data path) --------------------------------------------
@@ -75,6 +83,54 @@ class AtomicCounter:
         """Add one (generator); returns the new value."""
         value = yield from self.add(1, idempotent=idempotent)
         return value
+
+    def add_burst(self, deltas, idempotent: bool = False):
+        """Apply several deltas (generator); post-add values in order.
+
+        The FAA-heavy burst shape from the crossover study: under the
+        ``server_op`` (or adaptive) path policy the whole burst ships
+        to the hosting server as one composite op — one round trip
+        instead of ``len(deltas)`` FAAs.  ``remote_fetch`` degrades to
+        server-op (the result is a handful of integers).
+        """
+        deltas = list(deltas)
+        if not deltas:
+            return []
+        policy = self.mapping.path_policy
+        started_at = None
+        if policy == PathPolicy.ADAPTIVE:
+            if self._selector is None:
+                cfg = self.client.config
+                self._selector = AdaptiveSelector(
+                    modes=_BURST_MODES,
+                    probe_every=cfg.datapath_probe_every,
+                    hysteresis=cfg.datapath_hysteresis,
+                    patience=cfg.datapath_patience,
+                    alpha=cfg.datapath_ewma_alpha,
+                )
+            mode = self._selector.choose("burst")
+            started_at = (self.client.sim.now, self.client.setup_events)
+        elif policy == PathPolicy.ONE_SIDED:
+            mode = PathPolicy.ONE_SIDED
+        else:
+            mode = PathPolicy.SERVER_OP
+        if mode == PathPolicy.ONE_SIDED:
+            values = []
+            for delta in deltas:
+                value = yield from self.add(delta, idempotent=idempotent)
+                values.append(value)
+        else:
+            values = yield from self.client.datapath.counter_burst(
+                self, deltas
+            )
+            self._observe(values[-1])
+        if started_at is not None:
+            t0, setup_before = started_at
+            self._selector.observe(
+                "burst", mode, self.client.sim.now - t0,
+                cold=self.client.setup_events != setup_before,
+            )
+        return values
 
     def fetch(self, delta: int):
         """Fetch-and-add returning the *old* value (generator) — the

@@ -86,6 +86,7 @@ from repro.core.errors import (
 from repro.core.pool import LocalBufferPool
 from repro.core.region import RegionDesc
 from repro.core.shard import ShardRouter
+from repro.datapath.policy import PathPolicy
 from repro.obs import obs_for
 from repro.rdma.cm import ConnectionManager
 from repro.rdma.memory import MemoryRegion
@@ -641,12 +642,21 @@ class IoBatch:
 class Mapping:
     """A mapped region: the data-path handle."""
 
-    def __init__(self, client: "RStoreClient", desc: RegionDesc):
+    def __init__(self, client: "RStoreClient", desc: RegionDesc,
+                 path_policy: Optional[str] = None):
         self.client = client
         self.desc = desc
         #: the metadata shard owning this region's name — stamped onto
         #: every WR so servers fence against the right shard's epoch
         self.shard = client._router.shard_of(desc.name)
+        #: how composite ops over this mapping run (see repro.datapath):
+        #: one_sided | server_op | remote_fetch | adaptive.  Raw
+        #: read/write/atomic calls are always one-sided; data
+        #: structures (kv, coord) consult this to route their ops.
+        self.path_policy = PathPolicy.validate(
+            path_policy if path_policy is not None
+            else client.config.datapath_policy
+        )
         self.active = True
         #: host_id -> connected data QP (borrowed from the client cache)
         self._qps: dict[int, QueuePair] = {}
@@ -1115,6 +1125,12 @@ class RStoreClient:
         self._data_qps: dict[int, QueuePair] = {}
         self._pumps: dict[QueuePair, _QpPump] = {}
         self._mem_rpc: dict[int, RpcClient] = {}
+        #: lazily built DataPathRouter (see the ``datapath`` property)
+        self._datapath = None
+        #: bumped on every lazy one-time setup (QP dial, memory-service
+        #: channel dial, fetch-buffer allocation) so the adaptive
+        #: selector can discard latency samples that paid setup costs
+        self.setup_events = 0
         #: deterministic jitter stream for data-path retry backoff
         self._retry_rng = derive_rng(
             self.config.seed, f"rstore-client-{nic.host.host_id}-retry"
@@ -1240,6 +1256,36 @@ class RStoreClient:
     def batch(self) -> IoBatch:
         """A fresh :class:`IoBatch` bound to this client."""
         return IoBatch(self)
+
+    @property
+    def datapath(self):
+        """The server-op / remote-fetch router (lazily built).
+
+        Deferred import: ``repro.datapath.router`` imports this module,
+        so binding it at first use keeps the import graph acyclic and
+        the one-sided-only fast path free of the dependency.
+        """
+        if self._datapath is None:
+            from repro.datapath.router import DataPathRouter
+
+            self._datapath = DataPathRouter(self)
+        return self._datapath
+
+    def _mem_channel(self, host_id: int):
+        """A connected RPC channel to *host_id*'s memory service
+        (generator); cached per host, shared by the two-sided ablation
+        and the server-op data path."""
+        rpc = self._mem_rpc.get(host_id)
+        if rpc is None:
+            rpc = RpcClient(self.sim, self.nic, self.cm)
+            yield from rpc.connect(host_id, self.config.mem_service)
+            self._mem_rpc[host_id] = rpc
+            self.setup_events += 1
+        return rpc
+
+    def _mem_channel_drop(self, host_id: int) -> None:
+        """Forget a dead memory-service channel so the next use redials."""
+        self._mem_rpc.pop(host_id, None)
 
     # -- control path ----------------------------------------------------------
 
@@ -1393,15 +1439,24 @@ class RStoreClient:
             expires=self.sim.now + self.config.meta_lease_s,
         )
 
-    def _meta_store_negative(self, name: str, shard: int) -> None:
+    def _meta_store_negative(self, name: str, shard: int,
+                             as_of: Optional[int] = None) -> None:
+        """Cache a miss.  *as_of* is the shard epoch observed when the
+        lookup was *issued*, not when it completed: a lookup in flight
+        across an epoch bump must be stamped with the old era so the
+        bump (already observed by the time the refusal lands) evicts
+        it like any other stale lease — otherwise a region created
+        under the new era hides behind a cached refusal for the whole
+        negative TTL."""
         if not self.config.metadata_cache:
             return
         ttl = self.config.meta_negative_ttl_s
         if ttl <= 0:
             return
+        epoch = self._epochs.get(shard, 0) if as_of is None else as_of
         self._meta_cache[name] = _MetaEntry(
             desc=None, shard=shard,
-            epoch=self._epochs.get(shard, 0),
+            epoch=epoch,
             expires=self.sim.now + ttl,
             error=RegionNotFoundError(f"no region named {name!r}"),
         )
@@ -1420,6 +1475,14 @@ class RStoreClient:
             desc = yield from self.lookup(name)
             return desc
         entry = self._meta_cache.get(name)
+        if entry is not None and entry.epoch < self._epochs.get(
+                entry.shard, 0):
+            # stamped under an older era than we have since observed —
+            # possible when the entry was stored by a lookup that was
+            # already in flight when the bump arrived; serve-time check
+            # keeps such a lease from outliving the era it belongs to
+            self._meta_evict(name)
+            entry = None
         if entry is not None and self.sim.now < entry.expires:
             self._m_cache_hits.inc()
             if entry.error is not None:
@@ -1472,10 +1535,13 @@ class RStoreClient:
         cached descriptor.  The reply refreshes the cache for ``map``.
         """
         shard = self._router.shard_of(name)
+        # capture the observed epoch *before* the RPC: the refusal (if
+        # any) is only valid as of this era — see _meta_store_negative
+        as_of = self._epochs.get(shard, 0)
         try:
             desc = yield from self._master_call("lookup", name, shard=shard)
         except RegionNotFoundError:
-            self._meta_store_negative(name, shard)
+            self._meta_store_negative(name, shard, as_of=as_of)
             raise
         self._note_epoch(desc.epoch, shard)
         self._meta_store(name, shard, desc)
@@ -1510,7 +1576,8 @@ class RStoreClient:
             names.extend(owned)
         return sorted(names)
 
-    def map(self, region: Union[RegionDesc, str]):
+    def map(self, region: Union[RegionDesc, str],
+            path_policy: Optional[str] = None):
         """Map a region for data-path access (generator).
 
         Resolves the descriptor (if given a name) — through the leased
@@ -1519,6 +1586,10 @@ class RStoreClient:
         data QP to every hosting server.  QPs are cached across
         mappings, so only first contact with a server pays the
         connection cost.
+
+        ``path_policy`` selects how composite ops over the mapping run
+        (``one_sided`` | ``server_op`` | ``remote_fetch`` |
+        ``adaptive``); ``None`` takes ``config.datapath_policy``.
         """
         span = self.obs.tracer.span("control.client.map", kind="control",
                                     host=self.nic.host.host_id)
@@ -1535,7 +1606,7 @@ class RStoreClient:
             if not desc.available:
                 span.finish(ok=False)
                 raise RegionUnavailableError(desc.unavailable_reason)
-            mapping = Mapping(self, desc)
+            mapping = Mapping(self, desc, path_policy=path_policy)
             try:
                 yield from self._ensure_qps(desc, mapping._qps)
             except RdmaError:
@@ -1575,6 +1646,7 @@ class RStoreClient:
                     sq_depth=self.config.data_sq_depth,
                 )
                 self._data_qps[host_id] = qp
+                self.setup_events += 1
             table[host_id] = qp
 
     def alloc_local(self, length: int):
@@ -1860,11 +1932,7 @@ class RStoreClient:
         chunk_limit = max(1024, self.config.msg_size // 2)
         cursor = local_addr
         for stripe, stripe_off, take in desc.locate(offset, length):
-            rpc = self._mem_rpc.get(stripe.host_id)
-            if rpc is None:
-                rpc = RpcClient(self.sim, self.nic, self.cm)
-                yield from rpc.connect(stripe.host_id, self.config.mem_service)
-                self._mem_rpc[stripe.host_id] = rpc
+            rpc = yield from self._mem_channel(stripe.host_id)
             pos = 0
             while pos < take:
                 piece = min(chunk_limit, take - pos)

@@ -220,6 +220,7 @@ class Master:
             },
             epoch=self.epoch,
             next_region_id=self._next_region_id,
+            notes=dict(self._notes),
         )
 
     # -- recovery -------------------------------------------------------------
@@ -229,6 +230,7 @@ class Master:
         self.recovering = True
         self.regions = state.regions
         self._next_region_id = state.next_region_id
+        self._notes = dict(state.notes)
         self._recount_tenants()
         self.epoch = state.epoch + 1
         # servers that were alive at the crash are presumed alive — their
@@ -328,7 +330,8 @@ class Master:
         quotas = self.config.tenant_quota_bytes
         if quotas is None or tenant not in quotas:
             return None
-        return split_quota(quotas[tenant], self.shard_map.num_shards)
+        return split_quota(quotas[tenant], self.shard_map.num_shards,
+                           self.shard_id)
 
     def _check_quota(self, tenant: str, want: int) -> None:
         """Admission control: *want* more logical bytes for *tenant*."""
@@ -793,7 +796,11 @@ class Master:
         return total
 
     def _notify(self, name, payload=None):
-        yield self.sim.timeout(0)
+        # a note is control-plane metadata like any region descriptor:
+        # rendezvous state (kv.<name>.meta) must survive a master crash
+        # or every post-restart open waits on it forever
+        yield from self._ready()
+        yield from self._log("note", (name, payload))
         self._notes[name] = payload
         for waiter in self._note_waiters.pop(name, []):
             waiter.succeed(payload)

@@ -27,6 +27,9 @@ Record kinds (``kind``, payload):
 * ``"server"``  — ``(host_id, capacity, rkey, epoch, alive)`` membership
   snapshot; upsert on replay (register and declare-dead both emit it).
 * ``"epoch"``   — the new cluster epoch (bumped on recovery and death).
+* ``"note"``    — ``(name, payload)`` published notification; upsert on
+  replay (rendezvous metadata like ``kv.<name>.meta`` must survive a
+  master crash or every later ``open`` waits forever).
 """
 
 from __future__ import annotations
@@ -50,6 +53,8 @@ class RecoveredState:
     epoch: int = 0
     #: first region id the restarted master may hand out
     next_region_id: int = 1
+    #: name -> payload published notifications
+    notes: dict = field(default_factory=dict)
 
 
 class MetaLog:
@@ -113,6 +118,9 @@ class MetaLog:
                 state.servers[host_id] = (capacity, rkey, epoch, alive)
             elif kind == "epoch":
                 state.epoch = max(state.epoch, payload)
+            elif kind == "note":
+                name, note = payload
+                state.notes[name] = note
             else:  # pragma: no cover - corrupt log
                 raise ValueError(f"unknown metalog record kind {kind!r}")
         if state.regions:

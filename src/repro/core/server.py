@@ -109,6 +109,8 @@ class MemoryServer:
         self._peer_qps: dict[int, object] = {}
         #: optional fault injector (wired by the cluster builder)
         self.faults = None
+        #: server-op executor (see repro.datapath), built at start()
+        self._dp = None
 
     def start(self):
         """Boot the server (generator): arena, services, registration."""
@@ -132,6 +134,11 @@ class MemoryServer:
         self._rpc.register("ts_read", self._ts_read)
         self._rpc.register("ts_write", self._ts_write)
         self._rpc.register("stats", self._stats)
+        # composite server-op execution (see repro.datapath): deferred
+        # import so the core server module stays light to import
+        from repro.datapath.server_exec import ServerOpExecutor
+        self._dp = ServerOpExecutor(self)
+        self._rpc.register("dp_exec", self._dp.execute)
         yield from self._rpc.start()
 
         self.cm.listen(self.nic, cfg.data_service, self._data_pd, data_cq)

@@ -198,14 +198,19 @@ class ShardRouter:
             return client
 
 
-def split_quota(quota: Optional[int], num_shards: int) -> Optional[int]:
-    """A tenant's per-shard capacity share of a cluster-wide quota.
+def split_quota(quota: Optional[int], num_shards: int,
+                shard_id: int = 0) -> Optional[int]:
+    """*shard_id*'s capacity share of a tenant's cluster-wide quota.
 
     Each shard enforces quotas against its own accounting, so a
-    cluster-wide budget is divided evenly across shards (rounded up, so
-    single-region tenants never lose their full quota to rounding).
-    ``None`` (unlimited) stays unlimited.
+    cluster-wide budget is divided across shards.  The split is an
+    exact partition: the remainder bytes go to the lowest-numbered
+    shards one byte each, so ``sum(split_quota(q, n, s) for s in
+    range(n)) == q`` — the fleet can never admit more than the
+    cluster-wide budget in aggregate, and never less than it when a
+    tenant spreads evenly.  ``None`` (unlimited) stays unlimited.
     """
     if quota is None:
         return None
-    return -(-quota // num_shards)
+    base, extra = divmod(quota, num_shards)
+    return base + (1 if shard_id < extra else 0)

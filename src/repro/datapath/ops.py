@@ -1,0 +1,69 @@
+"""The slot codec shared by both ends of the kv data path.
+
+``repro.kv.hashkv`` pioneered this layout inline; the server-op
+executor (:mod:`repro.datapath.server_exec`) must parse and encode the
+exact same bytes against the arena, so the codec lives here — pure
+functions over ``bytes``, no simulation or client dependencies.
+
+Slot layout (all fields 8-byte aligned)::
+
+    [ version 8B ][ key_len 8B ][ key ... ][ val_len 8B ][ value ... ]
+
+The version word is the SeqLock word (``0`` never written, even =
+stable, odd = writer in flight); ``key_len`` of ``2**63 - 1`` marks a
+tombstone so linear probing keeps finding later entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = [
+    "WORD", "TOMBSTONE", "hash64", "pad", "slot_size",
+    "parse_body", "encode_body",
+]
+
+WORD = 8
+TOMBSTONE = (1 << 63) - 1
+
+
+def hash64(key: bytes) -> int:
+    """The table's slot hash: 8 bytes of blake2b, little-endian."""
+    return int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(),
+                          "little")
+
+
+def pad(n: int) -> int:
+    """Round *n* up to the 8-byte slot alignment."""
+    return -(-n // WORD) * WORD
+
+
+def slot_size(key_size: int, value_size: int) -> int:
+    """Bytes per slot: version + key_len + padded key + val_len +
+    padded value."""
+    return WORD + WORD + pad(key_size) + WORD + pad(value_size)
+
+
+def parse_body(body: bytes, key_size: int):
+    """Split a slot body (everything after the version word).
+
+    Returns ``(key_len, key, value)``; the key is empty for free and
+    tombstoned slots.
+    """
+    key_len = int.from_bytes(body[0:WORD], "little")
+    key = body[WORD:WORD + key_len] if key_len not in (0, TOMBSTONE) else b""
+    val_off = WORD + pad(key_size)
+    val_len = int.from_bytes(body[val_off:val_off + WORD], "little")
+    value = body[val_off + WORD:val_off + WORD + val_len]
+    return key_len, key, value
+
+
+def encode_body(key: bytes, value: bytes, key_size: int, value_size: int,
+                tombstone: bool = False) -> bytes:
+    """One slot body: what a writer publishes after the version word."""
+    key_len = TOMBSTONE if tombstone else len(key)
+    body = key_len.to_bytes(WORD, "little")
+    body += key.ljust(pad(key_size), b"\0")
+    body += len(value).to_bytes(WORD, "little")
+    body += value.ljust(pad(value_size), b"\0")
+    return body

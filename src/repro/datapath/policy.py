@@ -1,0 +1,165 @@
+"""Per-mapping data-path policy: which substrate runs an operation.
+
+Three concrete modes plus the adaptive chooser:
+
+* ``one_sided`` — the classic RStore path: the client drives every
+  probe/lock/publish with one-sided READ/WRITE/CAS and the server CPU
+  stays idle.
+* ``server_op`` — the whole composite op (a probe chain, a counter
+  burst) ships to the owning memory server over the RPC channel and is
+  applied there against the arena; one round trip replaces a
+  pointer-chasing conversation.
+* ``remote_fetch`` — RFP-style: the server computes the result and
+  deposits it into a per-client fetch buffer; the client picks it up
+  with a one-sided READ, so large results never ride the (pickled,
+  CPU-charged) message channel.
+
+:class:`AdaptiveSelector` implements ``adaptive``: a per-op-class
+EWMA of observed latency per mode, with deterministic round-robin
+probing and hysteresis + patience so the choice cannot flap on noise.
+It draws no randomness (repro-lint RL002: seeded replay must hold).
+"""
+
+from __future__ import annotations
+
+__all__ = ["PathPolicy", "AdaptiveSelector"]
+
+
+class PathPolicy:
+    """The policy vocabulary (plain strings, picklable, config-able)."""
+
+    ONE_SIDED = "one_sided"
+    SERVER_OP = "server_op"
+    REMOTE_FETCH = "remote_fetch"
+    ADAPTIVE = "adaptive"
+
+    #: the concrete substrates an op can actually run on
+    MODES = (ONE_SIDED, SERVER_OP, REMOTE_FETCH)
+    #: everything a mapping may be opened with
+    POLICIES = MODES + (ADAPTIVE,)
+
+    @classmethod
+    def validate(cls, policy: str) -> str:
+        if policy not in cls.POLICIES:
+            raise ValueError(
+                f"unknown path policy {policy!r} "
+                f"(expected one of {', '.join(cls.POLICIES)})"
+            )
+        return policy
+
+
+class _ClassState:
+    """Selector state for one op class (get/put/multi_get/burst)."""
+
+    __slots__ = ("ewma", "samples", "current", "streak", "count",
+                 "probe_cursor")
+
+    def __init__(self):
+        #: mode -> smoothed latency (seconds); absent = never sampled
+        self.ewma: dict[str, float] = {}
+        #: mode -> warm samples folded in (drives bias correction)
+        self.samples: dict[str, int] = {}
+        self.current: str | None = None
+        self.streak = 0
+        self.count = 0
+        self.probe_cursor = 0
+
+
+class AdaptiveSelector:
+    """Deterministic per-op-class mode chooser with hysteresis.
+
+    ``choose`` returns the mode to run the next op on; ``observe``
+    feeds the measured latency back.  Cold start samples every mode
+    once (in a fixed order); afterwards the current best-by-EWMA mode
+    serves, with every ``probe_every``-th op per class re-sampling a
+    non-current mode round-robin so a regime shift is eventually seen.
+    A switch requires ``patience`` consecutive observations in which
+    some other mode beats the current one by more than ``hysteresis``
+    (relative) — flapping between near-equal modes is impossible.
+    """
+
+    def __init__(self, modes=PathPolicy.MODES, probe_every: int = 32,
+                 hysteresis: float = 0.2, patience: int = 3,
+                 alpha: float = 0.3):
+        if probe_every < 2:
+            raise ValueError("probe_every must be at least 2")
+        if not 0 <= hysteresis < 1:
+            raise ValueError("hysteresis must be in [0, 1)")
+        if patience < 1:
+            raise ValueError("patience must be at least 1")
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.modes = tuple(modes)
+        self.probe_every = probe_every
+        self.hysteresis = hysteresis
+        self.patience = patience
+        self.alpha = alpha
+        self.switches = 0
+        self._classes: dict[str, _ClassState] = {}
+
+    def _state(self, op_class: str) -> _ClassState:
+        st = self._classes.get(op_class)
+        if st is None:
+            st = self._classes[op_class] = _ClassState()
+        return st
+
+    def mode_for(self, op_class: str):
+        """The currently preferred mode (None while still cold)."""
+        return self._state(op_class).current
+
+    def choose(self, op_class: str, modes=None) -> str:
+        """The mode the next *op_class* operation should run on."""
+        allowed = tuple(modes) if modes is not None else self.modes
+        st = self._state(op_class)
+        st.count += 1
+        for mode in allowed:
+            if mode not in st.ewma:
+                return mode  # cold start: sample each mode once
+        if st.current is None or st.current not in allowed:
+            st.current = min(allowed, key=lambda m: st.ewma[m])
+        if st.count % self.probe_every == 0 and len(allowed) > 1:
+            others = [m for m in allowed if m != st.current]
+            probe = others[st.probe_cursor % len(others)]
+            st.probe_cursor += 1
+            return probe
+        return st.current
+
+    def observe(self, op_class: str, mode: str, latency_s: float,
+                cold: bool = False) -> None:
+        """Feed one observed end-to-end latency back into the EWMA.
+
+        A *cold* observation — the op paid a one-time setup cost such
+        as a channel dial or a fetch-buffer allocation — is discarded:
+        the selector ranks steady-state data-path cost, and a sample
+        inflated by amortizable setup would poison a mode's EWMA for
+        hundreds of operations.  A mode whose cold-start sample is
+        dropped simply stays unsampled and is chosen again.
+        """
+        if cold:
+            return
+        st = self._state(op_class)
+        prev = st.ewma.get(mode)
+        n = st.samples.get(mode, 0) + 1
+        st.samples[mode] = n
+        # bias-corrected smoothing: the first few samples average as a
+        # true mean (1/n weight) instead of letting sample #1 dominate
+        # the estimate — a single deep-chain or contended op must not
+        # misrank a mode for hundreds of operations
+        alpha = max(self.alpha, 1.0 / n)
+        st.ewma[mode] = (latency_s if prev is None
+                         else prev + alpha * (latency_s - prev))
+        if st.current is None:
+            if all(m in st.ewma for m in self.modes):
+                st.current = min(self.modes, key=lambda m: st.ewma[m])
+            return
+        best = min(st.ewma, key=lambda m: st.ewma[m])
+        cur = st.ewma.get(st.current)
+        if (best != st.current and cur is not None
+                and st.ewma[best] < cur * (1 - self.hysteresis)):
+            st.streak += 1
+            if st.streak >= self.patience:
+                st.current = best
+                st.streak = 0
+                self.switches += 1
+        else:
+            st.streak = 0

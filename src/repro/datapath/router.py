@@ -1,0 +1,373 @@
+"""Client side of the server-op and remote-fetch data paths.
+
+The :class:`DataPathRouter` plans a composite op (a kv probe chain, a
+counter burst) against the current region descriptor, ships it to the
+owning memory server(s) as ``dp_exec`` RPCs, and classifies the
+outcome: busy slots back off and re-drive, stale epochs refresh the
+descriptor and retry, dead channels redial — all bounded by the same
+``data_retry_limit`` the one-sided path honours.
+
+**Probe-run segmentation.**  A probe chain of up to ``probe_limit``
+slots may span stripe boundaries; consecutive same-host slots group
+into *runs* and each run is one ``dp_exec``.  A run answering
+``("continue",)`` hands the chain to the next run, exactly as the
+one-sided prober walks slot by slot.
+
+**Remote fetch (RFP).**  Per server host, the router lazily allocates
+a small fetch region *placed on that server*; a remote-fetch op asks
+the server to deposit its (pickled) result there and returns a tiny
+acknowledgement, and the client picks the payload up with a one-sided
+READ — large results never ride the CPU-charged message channel.  A
+per-host flag serializes buffer use; hosts whose placement hint could
+not be honoured silently degrade to plain server-op.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.coord.base import Backoff
+from repro.core.client import _translated
+from repro.core.errors import (
+    RetryBudgetExceededError,
+    RStoreError,
+    StaleEpochError,
+)
+from repro.datapath import ops
+from repro.rpc.channel import ChannelClosed
+from repro.rpc.endpoint import RpcError, RpcRemoteError
+
+__all__ = ["DataPathRouter"]
+
+#: extra re-drives allowed for benign slot contention ("busy" replies)
+#: on top of the fault retry budget — contention is not a fault
+_BUSY_BUDGET = 256
+
+
+class _BusySlot(Exception):
+    """Internal: a server-op observed a locked slot; re-drive the op."""
+
+
+class _FetchBuffer:
+    """One per-server deposit region owned by this client."""
+
+    __slots__ = ("mapping", "addr", "capacity", "usable", "busy", "waiters")
+
+    def __init__(self, mapping, addr: int, capacity: int, usable: bool):
+        self.mapping = mapping
+        self.addr = addr
+        self.capacity = capacity
+        #: placement hint honoured — deposits actually land server-local
+        self.usable = usable
+        self.busy = False
+        self.waiters: list = []
+
+
+class DataPathRouter:
+    """Plans and drives server-op / remote-fetch executions."""
+
+    def __init__(self, client):
+        self.client = client
+        self.sim = client.sim
+        self.config = client.config
+        #: server host -> lazily opened fetch buffer
+        self._fetch_bufs: dict[int, _FetchBuffer] = {}
+        self._busy_backoff = Backoff.for_client(
+            client, "datapath-busy", budget=_BUSY_BUDGET)
+        self._redial_backoff = Backoff.for_client(client, "datapath-redial")
+        _m = client.obs.metrics
+        _host = client.nic.host.host_id
+        self._m_server_ops = _m.counter("datapath.server_ops", host=_host)
+        self._m_remote_fetches = _m.counter("datapath.remote_fetches",
+                                            host=_host)
+        self._m_busy_retries = _m.counter("datapath.busy_retries",
+                                          host=_host)
+        self._m_bytes_fetched = _m.counter("datapath.bytes_fetched",
+                                           host=_host)
+
+    # -- metrics -------------------------------------------------------------
+
+    @property
+    def server_ops(self) -> int:
+        """Composite ops shipped to a memory server."""
+        return self._m_server_ops.value
+
+    @property
+    def remote_fetches(self) -> int:
+        """Server-op results picked up via the fetch buffer."""
+        return self._m_remote_fetches.value
+
+    @property
+    def busy_retries(self) -> int:
+        """Ops re-driven because a server-op found a locked slot."""
+        return self._m_busy_retries.value
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _request(self, op: str, mapping, **fields) -> dict:
+        client = self.client
+        req = {
+            "op": op,
+            "region": mapping.name,
+            "shard": mapping.shard,
+            "epoch": client._epochs.get(mapping.shard, 0),
+            "actor": client._rsan_actor,
+            "deposit": None,
+        }
+        req.update(fields)
+        return req
+
+    def _call(self, host_id: int, request: dict):
+        """One ``dp_exec`` round trip (generator), redialing dead
+        channels up to the data retry budget."""
+        client = self.client
+        for attempt in range(self.config.data_retry_limit + 1):
+            rpc = yield from client._mem_channel(host_id)
+            try:
+                reply = yield from rpc.call("dp_exec", request)
+            except RpcRemoteError as exc:
+                raise _translated(exc) from None
+            except (RpcError, ChannelClosed):
+                client._mem_channel_drop(host_id)
+                if attempt >= self.config.data_retry_limit:
+                    raise
+                yield from self._redial_backoff.pause()
+                continue
+            self._m_server_ops.inc()
+            return reply
+        raise RStoreError("unreachable")  # pragma: no cover
+
+    def _refresh(self, mapping):
+        """Stale-epoch recovery (generator): learn the shard's current
+        epoch, refetch the descriptor, and retarget the mapping."""
+        client = self.client
+        client._m_retries_fenced.inc()
+        stats = yield from client._master_call("cluster_stats",
+                                               shard=mapping.shard)
+        client._note_epoch(stats["epoch"], mapping.shard)
+        client._meta_evict(mapping.name)
+        mapping.desc = yield from client.lookup(mapping.name)
+
+    def _locate_slot(self, desc, slot_off: int, slot_size: int):
+        """``(host_id, arena_addr)`` of one slot (never straddles)."""
+        for stripe, within, _take in desc.locate(slot_off, slot_size):
+            return stripe.host_id, stripe.addr + within
+        raise RStoreError(f"offset {slot_off} outside region {desc.name!r}")
+
+    def _probe_runs(self, desc, store, base: int):
+        """The probe chain as maximal same-host runs, in probe order."""
+        runs: list[tuple[int, list]] = []
+        for probe in range(store.probe_limit):
+            index = (base + probe) % store.slots
+            slot_off = index * store.slot_size
+            host_id, addr = self._locate_slot(desc, slot_off,
+                                              store.slot_size)
+            if runs and runs[-1][0] == host_id:
+                runs[-1][1].append((slot_off, addr))
+            else:
+                runs.append((host_id, [(slot_off, addr)]))
+        return runs
+
+    # -- remote-fetch buffers ------------------------------------------------
+
+    def _open_fetch_buffer(self, server_host: int):
+        """Allocate this client's deposit region on *server_host*
+        (generator); marks it unusable if placement missed the hint."""
+        client = self.client
+        size = self.config.datapath_fetch_bytes
+        name = f"dpfetch.h{client.nic.host.host_id}.s{server_host}"
+        try:
+            yield from client.alloc(name, size, stripe_size=size,
+                                    preferred_host=server_host,
+                                    replication=1)
+        except RStoreError:
+            # already allocated (an earlier router on this host); map it
+            pass
+        mapping = yield from client.map(name)
+        host_id, addr = self._locate_slot(mapping.desc, 0, size)
+        client.setup_events += 1
+        return _FetchBuffer(mapping, addr, size,
+                            usable=(host_id == server_host))
+
+    def _fetch_acquire(self, server_host: int):
+        """Exclusive use of the host's fetch buffer (generator); returns
+        ``None`` when deposits cannot land server-local."""
+        buf = self._fetch_bufs.get(server_host)
+        if buf is None:
+            buf = yield from self._open_fetch_buffer(server_host)
+            self._fetch_bufs[server_host] = buf
+        if not buf.usable:
+            return None
+        while buf.busy:
+            event = self.sim.event()
+            buf.waiters.append(event)
+            yield event
+        buf.busy = True
+        return buf
+
+    @staticmethod
+    def _fetch_release(buf) -> None:
+        if buf is None:
+            return
+        buf.busy = False
+        if buf.waiters:
+            buf.waiters.pop(0).succeed(None)
+
+    def _collect(self, buf, reply):
+        """Resolve a deposited reply (generator): one-sided pickup READ
+        of the fetch buffer, then unpickle the real result."""
+        if reply[0] != "deposited":
+            return reply
+        nbytes = reply[1]
+        client = self.client
+        # the deposit write happened before the RPC reply was sent and
+        # the buffer is exclusively ours until released: benign by
+        # construction, like the coordination internals
+        with client.rsan.exempt(client._rsan_actor):
+            blob = yield from buf.mapping.read(0, nbytes)
+        self._m_remote_fetches.inc()
+        self._m_bytes_fetched.inc(nbytes)
+        return pickle.loads(bytes(blob))
+
+    def _exec(self, host_id: int, request: dict, fetch: bool):
+        """One composite op against one host (generator), with the
+        optional deposit round trip folded in."""
+        buf = None
+        if fetch:
+            buf = yield from self._fetch_acquire(host_id)
+            if buf is not None:
+                request = dict(request, deposit=(buf.addr, buf.capacity))
+        try:
+            reply = yield from self._call(host_id, request)
+            result = yield from self._collect(buf, reply)
+        finally:
+            self._fetch_release(buf)
+        return result
+
+    # -- kv operations -------------------------------------------------------
+
+    def kv_get(self, store, key: bytes, fetch: bool = False):
+        """Server-side probe-chain lookup (generator)."""
+        base = ops.hash64(key)
+        self._busy_backoff.reset()
+        for _attempt in range(self.config.data_retry_limit + _BUSY_BUDGET):
+            try:
+                result = yield from self._kv_get_once(store, base, key,
+                                                      fetch)
+                return result
+            except _BusySlot:
+                self._m_busy_retries.inc()
+                yield from self._busy_backoff.pause()
+            except StaleEpochError:
+                yield from self._refresh(store.mapping)
+        raise RetryBudgetExceededError(
+            f"kv get of {key!r} kept racing writers")
+
+    def _kv_get_once(self, store, base: int, key: bytes, fetch: bool):
+        for host_id, slots in self._probe_runs(store.mapping.desc, store,
+                                               base):
+            request = self._request(
+                "kv_get", store.mapping, key=key, slots=slots,
+                key_size=store.key_size, value_size=store.value_size,
+            )
+            reply = yield from self._exec(host_id, request, fetch)
+            tag = reply[0]
+            if tag == "hit":
+                return reply[1]
+            if tag == "free":
+                return None
+            if tag == "busy":
+                raise _BusySlot()
+            # ("continue",): the chain spills into the next run
+        return None  # probe window exhausted without a match
+
+    def kv_put(self, store, key: bytes, value: bytes, fetch: bool = False):
+        """Server-side probe-chain store (generator).
+
+        ``fetch`` degrades to plain server-op — a store's reply is a
+        status tuple, so there is nothing worth depositing.
+        """
+        base = ops.hash64(key)
+        self._busy_backoff.reset()
+        for _attempt in range(self.config.data_retry_limit + _BUSY_BUDGET):
+            try:
+                stored = yield from self._kv_put_once(store, base, key,
+                                                      value)
+                return stored
+            except _BusySlot:
+                self._m_busy_retries.inc()
+                yield from self._busy_backoff.pause()
+            except StaleEpochError:
+                yield from self._refresh(store.mapping)
+        raise RetryBudgetExceededError(
+            f"kv put of {key!r} kept racing writers")
+
+    def _kv_put_once(self, store, base: int, key: bytes, value: bytes):
+        for host_id, slots in self._probe_runs(store.mapping.desc, store,
+                                               base):
+            request = self._request(
+                "kv_put", store.mapping, key=key, value=value, slots=slots,
+                key_size=store.key_size, value_size=store.value_size,
+            )
+            reply = yield from self._call(host_id, request)
+            tag = reply[0]
+            if tag == "stored":
+                return True
+            if tag == "busy":
+                raise _BusySlot()
+            # ("continue",): no eligible slot in this run
+        return False  # probe window exhausted: table full for this key
+
+    def kv_multi_get(self, store, keys: list, fetch: bool = False):
+        """Batched server-side lookups (generator), values in key order.
+
+        Keys whose entire probe chain lives on one host batch into one
+        ``dp_exec`` per host; chain-straddling keys fall back to
+        :meth:`kv_get`.  Busy keys re-drive individually.
+        """
+        results: list = [None] * len(keys)
+        per_host: dict[int, list] = {}
+        scattered: list[int] = []
+        desc = store.mapping.desc
+        for i, key in enumerate(keys):
+            runs = self._probe_runs(desc, store, ops.hash64(key))
+            if len(runs) == 1:
+                host_id, slots = runs[0]
+                per_host.setdefault(host_id, []).append((i, key, slots))
+            else:
+                scattered.append(i)
+        for host_id, batch in per_host.items():
+            request = self._request(
+                "kv_multi_get", store.mapping,
+                entries=[(key, slots) for _i, key, slots in batch],
+                key_size=store.key_size, value_size=store.value_size,
+            )
+            reply = yield from self._exec(host_id, request, fetch)
+            for (i, key, _slots), outcome in zip(batch, reply[1]):
+                if outcome[0] == "hit":
+                    results[i] = outcome[1]
+                elif outcome[0] == "busy":
+                    scattered.append(i)  # re-drive with busy handling
+        for i in scattered:
+            results[i] = yield from self.kv_get(store, keys[i], fetch=fetch)
+        return results
+
+    # -- counters ------------------------------------------------------------
+
+    def counter_burst(self, counter, deltas: list, fetch: bool = False):
+        """A burst of FAA deltas applied server-side (generator);
+        returns the post-add values in delta order."""
+        mapping = counter.mapping
+        for _attempt in range(self.config.data_retry_limit + 1):
+            host_id, addr = self._locate_slot(mapping.desc, counter.offset,
+                                              ops.WORD)
+            request = self._request("counter_burst", mapping, addr=addr,
+                                    deltas=list(deltas))
+            try:
+                reply = yield from self._exec(host_id, request, fetch)
+            except StaleEpochError:
+                yield from self._refresh(mapping)
+                continue
+            return reply[1]
+        raise RetryBudgetExceededError(
+            f"counter burst on {mapping.name!r} kept hitting stale epochs")

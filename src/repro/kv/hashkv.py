@@ -16,21 +16,25 @@ linear probing keeps finding later entries.
 
 from __future__ import annotations
 
-import hashlib
-
 from repro.coord import Backoff, CoordError, SeqLock
 from repro.core.client import Mapping, RStoreClient
 from repro.core.errors import RStoreError
+from repro.datapath import ops
+from repro.datapath.policy import AdaptiveSelector, PathPolicy
 
 __all__ = ["RKVStore", "KvError", "KvFullError"]
 
-_WORD = 8
-_TOMBSTONE = (1 << 63) - 1
+_WORD = ops.WORD
+_TOMBSTONE = ops.TOMBSTONE
 #: linear-probe window before declaring the table full for a key
 _PROBE_LIMIT = 16
 #: optimistic-read retries before giving up (a writer livelocking us
 #: this long means something is deeply wrong in simulation)
 _READ_RETRIES = 64
+
+#: store ops never remote-fetch: a put's reply is a status tuple, so
+#: the deposit path has nothing to save over plain server-op
+_PUT_MODES = (PathPolicy.ONE_SIDED, PathPolicy.SERVER_OP)
 
 
 class KvError(RStoreError):
@@ -41,13 +45,15 @@ class KvFullError(KvError):
     """No free slot within the probe window for this key."""
 
 
-def _hash64(key: bytes) -> int:
-    return int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(),
-                          "little")
+#: module-level alias kept for the txn/baseline importers
+_hash64 = ops.hash64
 
 
 class RKVStore:
     """A fixed-capacity hash table shared by any number of clients."""
+
+    #: linear-probe window, exposed for the data-path router's planner
+    probe_limit = _PROBE_LIMIT
 
     def __init__(self, client: RStoreClient, name: str, mapping: Mapping,
                  slots: int, key_size: int, value_size: int):
@@ -59,6 +65,16 @@ class RKVStore:
         self.value_size = value_size
         self.slot_size = self._slot_size(key_size, value_size)
         self._backoff = Backoff.for_client(client, f"kv-{name}")
+        cfg = client.config
+        #: per-op-class mode chooser, only under the adaptive policy
+        self._selector = None
+        if mapping.path_policy == PathPolicy.ADAPTIVE:
+            self._selector = AdaptiveSelector(
+                probe_every=cfg.datapath_probe_every,
+                hysteresis=cfg.datapath_hysteresis,
+                patience=cfg.datapath_patience,
+                alpha=cfg.datapath_ewma_alpha,
+            )
         # -- client-local metrics
         _labels = dict(table=name, host=client.nic.host.host_id)
         self._m_read_retries = client.obs.metrics.counter(
@@ -80,14 +96,12 @@ class RKVStore:
 
     @staticmethod
     def _slot_size(key_size: int, value_size: int) -> int:
-        def pad(n):
-            return -(-n // _WORD) * _WORD
-
-        return _WORD + _WORD + pad(key_size) + _WORD + pad(value_size)
+        return ops.slot_size(key_size, value_size)
 
     @classmethod
     def create(cls, client: RStoreClient, name: str, slots: int,
-               key_size: int = 32, value_size: int = 128):
+               key_size: int = 32, value_size: int = 128,
+               path_policy: str = None):
         """Allocate and map a fresh table (generator)."""
         if slots < 1:
             raise KvError("need at least one slot")
@@ -99,7 +113,8 @@ class RKVStore:
         region_size = slots * slot_size
         yield from client.alloc(f"kv.{name}", region_size,
                                 stripe_size=stripe_size)
-        mapping = yield from client.map(f"kv.{name}")
+        mapping = yield from client.map(f"kv.{name}",
+                                        path_policy=path_policy)
         store = cls(client, name, mapping, slots, key_size, value_size)
         yield from client.notify(
             f"kv.{name}.meta",
@@ -108,10 +123,11 @@ class RKVStore:
         return store
 
     @classmethod
-    def open(cls, client: RStoreClient, name: str):
+    def open(cls, client: RStoreClient, name: str, path_policy: str = None):
         """Map an existing table from another client (generator)."""
         meta = yield from client.wait_note(f"kv.{name}.meta")
-        mapping = yield from client.map(f"kv.{name}")
+        mapping = yield from client.map(f"kv.{name}",
+                                        path_policy=path_policy)
         return cls(client, name, mapping, meta["slots"], meta["key_size"],
                    meta["value_size"])
 
@@ -148,25 +164,11 @@ class RKVStore:
 
     def _parse_body(self, body: bytes):
         """Split a slot body (everything after the version word)."""
-        key_len = int.from_bytes(body[0:8], "little")
-        pad_key = -(-self.key_size // _WORD) * _WORD
-        key = body[8 : 8 + key_len] if key_len not in (
-            0, _TOMBSTONE
-        ) else b""
-        val_off = 8 + pad_key
-        val_len = int.from_bytes(body[val_off : val_off + 8], "little")
-        value = body[val_off + 8 : val_off + 8 + val_len]
-        return key_len, key, value
+        return ops.parse_body(body, self.key_size)
 
     def _encode_body(self, key: bytes, value: bytes, tombstone=False) -> bytes:
-        pad_key = -(-self.key_size // _WORD) * _WORD
-        pad_val = -(-self.value_size // _WORD) * _WORD
-        key_len = _TOMBSTONE if tombstone else len(key)
-        body = key_len.to_bytes(8, "little")
-        body += key.ljust(pad_key, b"\0")
-        body += len(value).to_bytes(8, "little")
-        body += value.ljust(pad_val, b"\0")
-        return body
+        return ops.encode_body(key, value, self.key_size, self.value_size,
+                               tombstone=tombstone)
 
     def snapshot_slot(self, index: int):
         """One raw slot snapshot in a single one-sided READ (generator).
@@ -221,6 +223,25 @@ class RKVStore:
             deadline=deadline,
         )
 
+    # -- mode dispatch (see repro.datapath) ----------------------------------
+
+    def _pick(self, op_class: str, modes=PathPolicy.MODES):
+        """``(mode, token)`` for the next *op_class* operation; the
+        timing token is only taken under the adaptive policy."""
+        policy = self.mapping.path_policy
+        if policy == PathPolicy.ADAPTIVE:
+            return (self._selector.choose(op_class, modes),
+                    (self.client.sim.now, self.client.setup_events))
+        return policy, None
+
+    def _done(self, op_class: str, mode: str, token) -> None:
+        if token is not None:
+            started_at, setup_before = token
+            self._selector.observe(
+                op_class, mode, self.client.sim.now - started_at,
+                cold=self.client.setup_events != setup_before,
+            )
+
     def put(self, key: bytes, value: bytes):
         """Insert or overwrite (generator)."""
         self._check_key(key)
@@ -229,6 +250,18 @@ class RKVStore:
                 f"value of {len(value)} bytes exceeds slot value size "
                 f"{self.value_size}"
             )
+        mode, started_at = self._pick("put", modes=_PUT_MODES)
+        if mode == PathPolicy.ONE_SIDED:
+            yield from self._put_one_sided(key, value)
+        else:
+            stored = yield from self.client.datapath.kv_put(self, key, value)
+            if not stored:
+                raise KvFullError(
+                    f"no slot for key within {_PROBE_LIMIT} probes"
+                )
+        self._done("put", mode, started_at)
+
+    def _put_one_sided(self, key: bytes, value: bytes):
         base = _hash64(key)
         self._backoff.reset()
         while True:
@@ -271,6 +304,17 @@ class RKVStore:
     def get(self, key: bytes):
         """Lookup (generator); returns the value or ``None``."""
         self._check_key(key)
+        mode, started_at = self._pick("get")
+        if mode == PathPolicy.ONE_SIDED:
+            value = yield from self._get_one_sided(key)
+        else:
+            value = yield from self.client.datapath.kv_get(
+                self, key, fetch=(mode == PathPolicy.REMOTE_FETCH)
+            )
+        self._done("get", mode, started_at)
+        return value
+
+    def _get_one_sided(self, key: bytes):
         base = _hash64(key)
         for probe in range(_PROBE_LIMIT):
             index = (base + probe) % self.slots
@@ -293,9 +337,24 @@ class RKVStore:
         optimistic-read protocol, amortized across all keys.  Keys that
         race a writer (odd or changed version) re-probe the same slot
         next round; the per-slot retry budget matches :meth:`get`.
+
+        Under a server-side policy the whole batch ships as per-host
+        composite ops instead (see ``DataPathRouter.kv_multi_get``).
         """
         for key in keys:
             self._check_key(key)
+        mode, started_at = self._pick("multi_get")
+        if mode != PathPolicy.ONE_SIDED:
+            values = yield from self.client.datapath.kv_multi_get(
+                self, keys, fetch=(mode == PathPolicy.REMOTE_FETCH)
+            )
+            self._done("multi_get", mode, started_at)
+            return values
+        values = yield from self._multi_get_one_sided(keys)
+        self._done("multi_get", mode, started_at)
+        return values
+
+    def _multi_get_one_sided(self, keys: list):
         results: list = [None] * len(keys)
         probes = [0] * len(keys)
         tries = [0] * len(keys)
@@ -363,7 +422,13 @@ class RKVStore:
         return results
 
     def delete(self, key: bytes):
-        """Remove (generator); returns whether the key existed."""
+        """Remove (generator); returns whether the key existed.
+
+        Always one-sided regardless of the mapping's path policy:
+        deletes are rare, need the found-vs-absent distinction the
+        server-op store protocol does not carry, and tombstone writes
+        must never claim a fresh slot.
+        """
         self._check_key(key)
         base = _hash64(key)
         self._backoff.reset()

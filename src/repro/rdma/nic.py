@@ -93,6 +93,14 @@ class RNic:
         return (self.fence_epoch if shard_id == 0
                 else self._shard_fences.get(shard_id, 0))
 
+    def fenced(self, shard_id: int, epoch: int) -> bool:
+        """Would a request stamped (*shard_id*, *epoch*) be NAK'd stale?
+
+        The same test the WR path applies, exposed for the server-op
+        executor so composite RPC-borne ops honour the identical fence.
+        """
+        return epoch < self.fence_for(shard_id)
+
     # -- metrics (registry-backed; see repro.obs) -----------------------------
 
     @property

@@ -1,6 +1,6 @@
 """repro-lint: AST checks for invariants ruff cannot express.
 
-Six rule families, each guarding a design contract of this repo:
+Seven rule families, each guarding a design contract of this repo:
 
 * **RL001 — control-path isolation.**  Data-path modules (any file
   under a ``coord``, ``graph``, ``sort``, ``kv`` or ``txn`` directory)
@@ -36,6 +36,13 @@ Six rule families, each guarding a design contract of this repo:
   binds it (``core/master.py``).  Everyone else asks the
   :class:`ShardRouter` — otherwise a module silently pins itself to
   shard 0 and breaks under ``control_shards > 1``.
+* **RL007 — server-op handlers stay on the data plane.**  Server-side
+  executors (``server_*.py`` under a ``datapath`` directory) run
+  *inside* a memory server's RPC dispatch on behalf of a remote
+  client: one that imports master/RPC/shard machinery or dials a
+  control endpoint turns a data op into a hidden control RPC — a
+  deadlock risk (the master may be mid-recovery while data ops flow)
+  and a violation of the separation thesis at its sharpest point.
 
 Findings print as ``path:line: RLxxx message``; the process exits
 nonzero if any survive.  Suppress a deliberate finding with a trailing
@@ -91,9 +98,9 @@ INSTRUMENT_METHODS = {"counter", "gauge", "histogram", "span", "record",
 
 #: allowed first segments of an instrument name (``layer.noun_verb``)
 LAYERS = {
-    "app", "client", "control", "coord", "data", "graph", "kv",
-    "master", "obs", "rnic", "rpc", "rsan", "sim", "sort", "span",
-    "txn",
+    "app", "client", "control", "coord", "data", "datapath", "graph",
+    "kv", "master", "obs", "rnic", "rpc", "rsan", "sim", "sort",
+    "span", "txn",
 }
 
 #: identifiers mentioning any of these mark a retry loop as bounded
@@ -104,6 +111,15 @@ BOUND_TOKENS = ("deadline", "budget", "attempt", "expired", "remaining",
 #: file basenames allowed to touch ``master_service`` directly (RL006):
 #: the shard layer that owns endpoint naming, and the master binding it
 DIAL_ALLOWED_FILES = ("master.py", "shard")
+
+#: imports forbidden inside server-op executors (RL007): RPC client
+#: machinery, the master, and the shard router are all control plane
+SERVER_OP_FORBIDDEN_IMPORTS = ("repro.rpc", "repro.core.master",
+                               "repro.core.shard")
+
+#: methods a server-op executor may never call (RL007): each one dials
+#: or routes to a master
+SERVER_OP_FORBIDDEN_CALLS = {"_master_call", "client_for", "connect_all"}
 
 _NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 _PREFIX_RE = re.compile(r"^[a-z0-9_.]+$")
@@ -217,6 +233,9 @@ class _Checker(ast.NodeVisitor):
         self.in_simnet = "simnet" in parts
         self.may_dial_master = (path.name == "config.py"
                                 or path.name.startswith(DIAL_ALLOWED_FILES))
+        #: a server-op executor module (RL007 scope)
+        self.dp_server = ("datapath" in parts
+                          and path.name.startswith("server_"))
         self.func_stack: list[str] = []
         self.violations: list[Violation] = []
 
@@ -250,6 +269,13 @@ class _Checker(ast.NodeVisitor):
                     self.flag(node, "RL001",
                               f"data-path module imports {alias.name!r} "
                               "(master/RPC machinery)")
+        if self.dp_server:
+            for alias in node.names:
+                if alias.name.startswith(SERVER_OP_FORBIDDEN_IMPORTS):
+                    self.flag(node, "RL007",
+                              f"server-op executor imports {alias.name!r} "
+                              "— handlers run inside RPC dispatch and must "
+                              "never reach the control plane")
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node):
@@ -258,6 +284,12 @@ class _Checker(ast.NodeVisitor):
                 self.flag(node, "RL001",
                           f"data-path module imports from {node.module!r} "
                           "(master/RPC machinery)")
+        if self.dp_server and node.module:
+            if node.module.startswith(SERVER_OP_FORBIDDEN_IMPORTS):
+                self.flag(node, "RL007",
+                          f"server-op executor imports from "
+                          f"{node.module!r} — handlers run inside RPC "
+                          "dispatch and must never reach the control plane")
         self.generic_visit(node)
 
     # -- RL005: unbounded retry loops ----------------------------------------
@@ -310,6 +342,14 @@ class _Checker(ast.NodeVisitor):
             self.flag(node, "RL001",
                       f"control-path call .{name}() from {where} — move it "
                       "into a create/open/setup-style function")
+
+        # RL007: server-op executors must not dial the control plane
+        if self.dp_server and name in SERVER_OP_FORBIDDEN_CALLS:
+            self.flag(node, "RL007",
+                      f"server-op executor calls {name}() — handlers run "
+                      "inside RPC dispatch; dialing masters or opening "
+                      "channels from there is a hidden control RPC and a "
+                      "deadlock risk")
 
         # RL002: nondeterminism outside simnet/
         if not self.in_simnet:

@@ -125,6 +125,84 @@ def test_epoch_bump_evicts_cached_leases():
     cluster.run_app(after())
 
 
+def test_negative_entry_from_lookup_in_flight_across_bump_is_dropped():
+    """Regression: a miss whose lookup was issued under the old epoch
+    but whose refusal landed after the client had already observed the
+    bump used to be stamped with the *new* epoch — so a region created
+    under the new era hid behind the cached refusal for the whole
+    negative TTL.  The refusal must be stamped with the era it was
+    issued under, and a later ``map`` must refetch, not re-refuse."""
+    cluster = fresh_cluster(meta_negative_ttl_s=5.0)
+    client = cluster.client(1)
+    owner = cluster.client(2)
+
+    def setup():
+        yield from client.alloc("warm", 128 * KiB)
+
+    cluster.run_app(setup())
+    cluster.crash_master()
+    cluster.run_app(cluster.restart_master())
+    cluster.run(until=cluster.sim.now + 0.5)
+
+    order = []
+
+    def misser():
+        # lookup starts while this client still believes the old
+        # epoch; its refusal lands after the learner bumps the view
+        with pytest.raises(RegionNotFoundError):
+            yield from client.map("victim")
+        order.append("missed")
+
+    def learner():
+        # a fenced control op: refreshes this client's epoch view
+        yield from client.alloc("other", 128 * KiB)
+        order.append("learned")
+
+    def race():
+        procs = [cluster.sim.process(misser(), name="misser"),
+                 cluster.sim.process(learner(), name="learner")]
+        yield cluster.sim.all_of(procs)
+
+    cluster.run_app(race())
+    # the schedule must exercise the in-flight window: the epoch was
+    # learned before the refusal was cached
+    assert order == ["learned", "missed"]
+    assert client.retries_fenced > 0
+
+    def after():
+        # the region is born under the new era; the client must see it
+        # well inside the 5s negative TTL
+        yield from owner.alloc("victim", 128 * KiB)
+        mapping = yield from client.map("victim")
+        assert mapping is not None
+
+    cluster.run_app(after())
+
+
+def test_stale_era_refusal_is_evicted_at_serve_time():
+    """The serve-time half of the same regression: an entry stamped
+    under an older era than the client has since observed must never
+    be served, even though its TTL is still running."""
+    cluster = fresh_cluster(meta_negative_ttl_s=5.0)
+    client = cluster.client(1)
+    owner = cluster.client(2)
+
+    def app():
+        yield from owner.alloc("victim", 128 * KiB)
+        # replay lookup()'s late-reply interleaving by hand: the bump
+        # is observed first, then the refusal (issued under epoch 0)
+        # lands and is cached — after _note_epoch already swept, so
+        # only the serve-time staleness check can catch it
+        client._note_epoch(client._epochs.get(0, 0) + 1, shard=0)
+        client._meta_store_negative("victim", 0, as_of=0)
+        misses = client.metadata_cache_misses
+        mapping = yield from client.map("victim")
+        assert mapping is not None
+        assert client.metadata_cache_misses == misses + 1
+
+    cluster.run_app(app())
+
+
 def test_32_concurrent_misses_coalesce_to_one_rpc():
     cluster = fresh_cluster()
     owner = cluster.client(2)

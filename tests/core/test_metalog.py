@@ -201,6 +201,50 @@ def test_checkpoint_at_the_commit_point_loses_no_region():
     cluster.run_app(app())
 
 
+def test_note_records_replay_as_rendezvous_state():
+    sim = Simulator()
+    log = MetaLog(sim)
+
+    def writer():
+        yield from log.append("note", ("kv.t.meta", {"slots": 8}))
+        yield from log.append("note", ("kv.t.meta", {"slots": 16}))
+
+    _drive(sim, writer())
+    state = log.replay()
+    assert state.notes == {"kv.t.meta": {"slots": 16}}  # last write wins
+
+
+def test_notes_survive_a_master_crash():
+    """Regression: notes used to live only in master memory, so a
+    crash silently dropped every published rendezvous payload —
+    ``RKVStore.open`` after a restart then waited on ``kv.<name>.meta``
+    forever.  A note is a logged mutation like any descriptor: replay
+    must restore it, and the checkpoint path must carry it too."""
+    cluster = build_cluster(
+        num_machines=4,
+        config=RStoreConfig(stripe_size=64 * KiB,
+                            metalog_checkpoint_every=4),
+        server_capacity=16 * MiB,
+    )
+
+    def app():
+        client = cluster.client(1)
+        yield from client.notify("early", {"k": 1})
+        # push the early note through a checkpoint + truncation
+        for i in range(8):
+            yield from client.alloc(f"r{i}", 64 * KiB)
+        yield from client.notify("late", {"k": 2})
+        cluster.master.crash()
+        yield from cluster.restart_master()
+        # both eras of note — checkpointed and tail-replayed — serve
+        early = yield from client.wait_note("early")
+        late = yield from client.wait_note("late")
+        assert early == {"k": 1}
+        assert late == {"k": 2}
+
+    cluster.run_app(app())
+
+
 def test_unknown_record_kind_is_rejected():
     sim = Simulator()
     log = MetaLog(sim)

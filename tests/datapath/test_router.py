@@ -1,0 +1,397 @@
+"""Client-side data-path router: planning, dispatch, and recovery."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.core import RStoreConfig
+from repro.datapath import ops
+from repro.datapath.router import _FetchBuffer
+from repro.kv.hashkv import KvFullError, RKVStore
+from repro.rdma.cm import ConnectError
+from repro.rpc.channel import ChannelClosed
+from repro.rpc.endpoint import RpcError
+from repro.simnet.config import KiB, MiB
+
+
+def fresh_cluster(**overrides):
+    overrides.setdefault("stripe_size", 64 * KiB)
+    config = RStoreConfig(**overrides)
+    return build_cluster(
+        num_machines=4, config=config, server_capacity=64 * MiB,
+    )
+
+
+def test_one_sided_policy_never_ships_a_server_op():
+    cluster = fresh_cluster()
+    client = cluster.client(1)
+
+    def app():
+        store = yield from RKVStore.create(client, "classic", slots=64,
+                                           key_size=16, value_size=64)
+        yield from store.put(b"k", b"v")
+        value = yield from store.get(b"k")
+        assert value == b"v"
+        assert client.datapath.server_ops == 0
+        assert client.datapath.remote_fetches == 0
+
+    cluster.run_app(app())
+
+
+def test_server_op_policy_ships_and_skips_the_fetch_buffer():
+    cluster = fresh_cluster()
+    client = cluster.client(1)
+
+    def app():
+        store = yield from RKVStore.create(client, "shipped", slots=64,
+                                           key_size=16, value_size=64,
+                                           path_policy="server_op")
+        yield from store.put(b"k", b"v")
+        value = yield from store.get(b"k")
+        assert value == b"v"
+        assert client.datapath.server_ops > 0
+        assert client.datapath.remote_fetches == 0
+
+    cluster.run_app(app())
+
+
+def test_remote_fetch_deposits_and_reads_one_sided():
+    cluster = fresh_cluster()
+    client = cluster.client(1)
+
+    def app():
+        store = yield from RKVStore.create(client, "rfp", slots=64,
+                                           key_size=16, value_size=256,
+                                           path_policy="remote_fetch")
+        payload = b"y" * 256
+        yield from store.put(b"k", payload)
+        value = yield from store.get(b"k")
+        assert value == payload
+        router = client.datapath
+        assert router.remote_fetches > 0
+        assert router._m_bytes_fetched.value > len(payload)  # pickled
+
+    cluster.run_app(app())
+
+
+def test_miss_and_full_table_verdicts_match_the_one_sided_path():
+    cluster = fresh_cluster()
+    client = cluster.client(1)
+
+    def fill(store):
+        stored = []
+        i = 0
+        while len(stored) < store.slots:
+            key = b"f%d" % i
+            i += 1
+            try:
+                yield from store.put(key, b"x")
+            except KvFullError:
+                continue
+            stored.append(key)
+        return stored
+
+    def app():
+        for policy in ("one_sided", "server_op"):
+            store = yield from RKVStore.create(
+                client, f"full-{policy}", slots=4, key_size=16,
+                value_size=32, path_policy=policy,
+            )
+            yield from fill(store)
+            # every slot occupied by another key: a get walks the whole
+            # window to a definitive miss, a put raises KvFullError
+            missing = yield from store.get(b"absent")
+            assert missing is None, policy
+            with pytest.raises(KvFullError):
+                yield from store.put(b"absent", b"z")
+
+    cluster.run_app(app())
+
+
+def test_multi_get_returns_values_in_key_order_with_misses():
+    cluster = fresh_cluster()
+    client = cluster.client(1)
+
+    def app():
+        for policy in ("server_op", "remote_fetch"):
+            store = yield from RKVStore.create(
+                client, f"batch-{policy}", slots=128, key_size=16,
+                value_size=64, path_policy=policy,
+            )
+            for i in range(12):
+                yield from store.put(b"m%d" % i, b"val%d" % i)
+            keys = [b"m3", b"nope", b"m7", b"m0", b"also-nope"]
+            values = yield from store.multi_get(keys)
+            assert values == [b"val3", None, b"val7", b"val0", None], policy
+
+    cluster.run_app(app())
+
+
+def test_probe_runs_cover_the_window_in_order_and_split_by_host():
+    # a table striped across servers: every probe chain must visit
+    # probe_limit slots in probe order, grouped into maximal
+    # consecutive same-host runs
+    cluster = fresh_cluster(stripe_size=8 * KiB)
+    client = cluster.client(1)
+
+    def app():
+        store = yield from RKVStore.create(client, "striped", slots=400,
+                                           key_size=16, value_size=64)
+        router = client.datapath
+        desc = store.mapping.desc
+        multi = 0
+        for base in range(0, 400, 7):
+            runs = router._probe_runs(desc, store, base)
+            flat = [off for _host, slots in runs for off, _addr in slots]
+            expected = [((base + p) % store.slots) * store.slot_size
+                        for p in range(store.probe_limit)]
+            assert flat == expected
+            for (host_a, _), (host_b, _) in zip(runs, runs[1:]):
+                assert host_a != host_b  # runs are maximal
+            if len(runs) > 1:
+                multi += 1
+        assert multi > 0, "no probe chain ever straddled a stripe"
+
+    cluster.run_app(app())
+
+
+def test_chain_straddling_stripes_still_resolves_every_key():
+    cluster = fresh_cluster(stripe_size=8 * KiB)
+    client = cluster.client(1)
+
+    def app():
+        store = yield from RKVStore.create(client, "spill", slots=400,
+                                           key_size=16, value_size=64,
+                                           path_policy="server_op")
+        keys = [b"s%d" % i for i in range(120)]
+        for key in keys:
+            yield from store.put(key, b"v-" + key)
+        for key in keys:
+            value = yield from store.get(key)
+            assert value == b"v-" + key
+
+    cluster.run_app(app())
+
+
+def test_stale_epoch_refreshes_and_retries():
+    cluster = fresh_cluster()
+    client = cluster.client(1)
+    holder = {}
+
+    def setup():
+        store = yield from RKVStore.create(client, "fenced", slots=64,
+                                           key_size=16, value_size=64,
+                                           path_policy="server_op")
+        yield from store.put(b"k", b"v")
+        holder["store"] = store
+
+    cluster.run_app(setup())
+    # the master moves an era forward; the servers' fences rise with it
+    # (as they would after a fresh re-registration)
+    cluster.crash_master()
+    cluster.run_app(cluster.restart_master())
+    cluster.run(until=cluster.sim.now + 0.5)
+    for server in cluster.servers.values():
+        server.nic.set_fence(0, 1)
+
+    def after():
+        store = holder["store"]
+        fenced_before = client.retries_fenced
+        value = yield from store.get(b"k")
+        assert value == b"v"
+        assert client.retries_fenced > fenced_before
+
+    cluster.run_app(after())
+
+
+def test_busy_slot_backs_off_and_wins_once_the_writer_leaves():
+    cluster = fresh_cluster()
+    client = cluster.client(1)
+
+    def app():
+        store = yield from RKVStore.create(client, "contended", slots=64,
+                                           key_size=16, value_size=64,
+                                           path_policy="server_op")
+        yield from store.put(b"k", b"v1")
+        index = ops.hash64(b"k") % store.slots
+        lock = store.slot_lock(index)
+        version, _body = yield from lock.read()
+        locked = yield from lock.try_lock(version)
+        assert locked
+
+        got = []
+
+        def reader():
+            value = yield from store.get(b"k")
+            got.append(value)
+
+        proc = cluster.sim.process(reader(), name="busy-reader")
+        yield cluster.sim.timeout(0.001)  # let it hit the locked slot
+        body = ops.encode_body(b"k", b"v2", store.key_size,
+                               store.value_size)
+        yield from lock.publish(version + 1, body)
+        yield proc
+        assert got == [b"v2"]
+        assert client.datapath.busy_retries > 0
+
+    cluster.run_app(app())
+
+
+def test_fetch_buffer_serializes_concurrent_deposits():
+    cluster = fresh_cluster()
+    client = cluster.client(1)
+
+    def app():
+        store = yield from RKVStore.create(client, "shared-buf", slots=64,
+                                           key_size=16, value_size=128,
+                                           path_policy="remote_fetch")
+        yield from store.put(b"a", b"A" * 128)
+        yield from store.put(b"b", b"B" * 128)
+        results = {}
+
+        def getter(key):
+            value = yield from store.get(key)
+            results[key] = value
+
+        procs = [cluster.sim.process(getter(b"a"), name="get-a"),
+                 cluster.sim.process(getter(b"b"), name="get-b"),
+                 cluster.sim.process(getter(b"a"), name="get-a2")]
+        yield cluster.sim.all_of(procs)
+        assert results == {b"a": b"A" * 128, b"b": b"B" * 128}
+
+    cluster.run_app(app())
+
+
+def test_unplaceable_fetch_buffer_degrades_to_server_op():
+    cluster = fresh_cluster()
+    client = cluster.client(1)
+
+    def app():
+        store = yield from RKVStore.create(client, "degrade", slots=64,
+                                           key_size=16, value_size=64,
+                                           path_policy="remote_fetch")
+        yield from store.put(b"k", b"v")
+        router = client.datapath
+        # force every host's buffer to "placement hint missed": the op
+        # must still complete as a plain server-op, nothing deposited
+        for host_id in range(cluster.num_machines):
+            mapping = store.mapping  # placeholder mapping, never read
+            router._fetch_bufs[host_id] = _FetchBuffer(
+                mapping, addr=0, capacity=0, usable=False,
+            )
+        value = yield from store.get(b"k")
+        assert value == b"v"
+        assert router.remote_fetches == 0
+        assert router.server_ops > 0
+
+    cluster.run_app(app())
+
+
+def test_dead_server_exhausts_the_redial_budget():
+    cluster = fresh_cluster(data_retry_limit=2)
+    client = cluster.client(1)
+
+    def app():
+        from repro.coord.counter import AtomicCounter
+        ctr = yield from AtomicCounter.create(client, "orphan",
+                                              preferred_host=3,
+                                              path_policy="server_op")
+        values = yield from ctr.add_burst([1, 2])
+        assert values == [1, 3]
+        cluster.kill_server(3)
+        # the cached channel dies first, then every redial finds the
+        # host unreachable until the data retry budget drains
+        with pytest.raises((RpcError, ChannelClosed, ConnectError)):
+            yield from ctr.add_burst([4])
+
+    cluster.run_app(app())
+
+
+def test_multi_get_redrives_busy_keys_individually():
+    cluster = fresh_cluster()
+    client = cluster.client(1)
+
+    def app():
+        store = yield from RKVStore.create(client, "busy-batch", slots=64,
+                                           key_size=16, value_size=64,
+                                           path_policy="server_op")
+        yield from store.put(b"k", b"v1")
+        yield from store.put(b"other", b"w")
+        index = ops.hash64(b"k") % store.slots
+        lock = store.slot_lock(index)
+        version, _body = yield from lock.read()
+        locked = yield from lock.try_lock(version)
+        assert locked
+
+        got = []
+
+        def batch_reader():
+            values = yield from store.multi_get([b"k", b"other"])
+            got.append(values)
+
+        proc = cluster.sim.process(batch_reader(), name="busy-batch")
+        yield cluster.sim.timeout(0.001)  # let it hit the locked slot
+        body = ops.encode_body(b"k", b"v2", store.key_size,
+                               store.value_size)
+        yield from lock.publish(version + 1, body)
+        yield proc
+        # the unlocked key resolved in the batch; the busy one was
+        # re-driven alone and saw the published value
+        assert got == [[b"v2", b"w"]]
+        assert client.datapath.busy_retries > 0
+
+    cluster.run_app(app())
+
+
+def test_counter_burst_refreshes_a_stale_epoch():
+    cluster = fresh_cluster()
+    client = cluster.client(1)
+    holder = {}
+
+    def setup():
+        from repro.coord.counter import AtomicCounter
+        ctr = yield from AtomicCounter.create(client, "fenced-ctr",
+                                              path_policy="server_op")
+        values = yield from ctr.add_burst([1])
+        assert values == [1]
+        holder["ctr"] = ctr
+
+    cluster.run_app(setup())
+    cluster.crash_master()
+    cluster.run_app(cluster.restart_master())
+    cluster.run(until=cluster.sim.now + 0.5)
+    for server in cluster.servers.values():
+        server.nic.set_fence(0, 1)
+
+    def after():
+        fenced_before = client.retries_fenced
+        values = yield from holder["ctr"].add_burst([2, 3])
+        assert values == [3, 6]
+        assert client.retries_fenced > fenced_before
+
+    cluster.run_app(after())
+
+
+def test_adaptive_policy_converges_and_stays_correct():
+    cluster = fresh_cluster(datapath_probe_every=8)
+    client = cluster.client(1)
+
+    def app():
+        store = yield from RKVStore.create(client, "adaptive", slots=256,
+                                           key_size=16, value_size=64,
+                                           path_policy="adaptive")
+        for i in range(60):
+            yield from store.put(b"a%d" % i, b"v%d" % i)
+        for _round in range(3):
+            for i in range(60):
+                value = yield from store.get(b"a%d" % i)
+                assert value == b"v%d" % i
+        sel = store._selector
+        # every substrate was sampled and a preference emerged
+        assert set(sel._classes["get"].ewma) == {
+            "one_sided", "server_op", "remote_fetch"}
+        assert sel.mode_for("get") in ("one_sided", "server_op",
+                                       "remote_fetch")
+        # puts never leave their restricted substrate set
+        assert set(sel._classes["put"].ewma) <= {"one_sided", "server_op"}
+
+    cluster.run_app(app())

@@ -1,0 +1,22 @@
+"""RL007 fixture: a server-op executor (``server_*.py`` under a
+``datapath`` directory) that reaches for control-plane machinery.
+Handlers run inside the server's RPC dispatch loop — importing RPC or
+shard-map internals, or dialing a master, is a hidden control RPC and
+a deadlock waiting to happen.  Never imported — repro-lint parses it
+as text.  ``# -> RLxxx`` markers name the expected finding.
+"""
+
+from repro.rpc import RpcClient             # -> RL007
+import repro.core.master                    # -> RL007
+from repro.core.shard import ShardMap       # -> RL007
+
+
+class LeakyExecutor:
+    def execute(self, request):
+        # a handler asking the master a question mid-op: forbidden
+        reply = yield from self.client._master_call(  # -> RL007
+            "lookup", name=request["region"]
+        )
+        peer = self.registry.client_for(reply["host"])  # -> RL007
+        yield from peer.connect_all()                   # -> RL007
+        return reply

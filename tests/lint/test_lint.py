@@ -27,6 +27,7 @@ FIXTURES = {
     "RL004": HERE / "fixture_rl004.py",
     "RL005": HERE / "fixture_rl005.py",
     "RL006": HERE / "fixture_rl006.py",
+    "RL007": HERE / "datapath" / "server_fixture_rl007.py",
 }
 
 
