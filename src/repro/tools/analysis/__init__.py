@@ -1,0 +1,39 @@
+"""repro-analyze: whole-program static analysis over the tree.
+
+``repro lint`` (:mod:`repro.tools.lint`) checks one file at a time;
+this package builds the *program*: a module-import graph and a
+name-resolved call graph over every file in scope, per-function
+summaries (control-path calls made, futures created and consumed, lock
+acquisition order, exceptions raised), and a worklist fixpoint that
+propagates those summaries interprocedurally.  Four gating rules run
+on top:
+
+* **RL008** — interprocedural control-path isolation: RL001's
+  transitive closure.  A steady-state data-path function that
+  *reaches* ``alloc``/``map``/``_master_call`` through any helper
+  chain is flagged, with the full call path printed.
+* **RL009** — future-escape: a ``*_async`` result must reach a
+  ``wait``/``result``/batch sink; an assigned-but-never-read future,
+  or a discarded call to a helper that *returns* a future, is flagged
+  (the cases RL003's statement-level check cannot see).
+* **RL010** — static lock-order graph over ``RemoteLock``/``SeqLock``/
+  slot-lock acquisition sites, with cycle detection: the static twin
+  of RSan's happens-before edges.
+* **RL011** — exception-flow conformance: ``Fatal`` errors are
+  deterministic and must propagate out of retry loops; a broad
+  ``except Exception`` that swallows-and-continues is flagged.
+
+Run it as ``python -m repro analyze`` (``--json`` for the stable
+finding schema CI diffs).  Warm runs are sub-second: per-file
+summaries are cached by mtime+hash, and only the fixpoint re-runs.
+Suppression uses the same ``# repro-lint: allow[RLxxx]`` comments, and
+``analysis-baseline.json`` (checked in, shipped empty) grandfathers
+findings when a rule lands before its last fix does.
+"""
+
+from repro.tools.analysis.cli import main
+from repro.tools.analysis.graph import Program
+from repro.tools.analysis.runner import analyze_paths
+from repro.tools.analysis.summary import summarize_source
+
+__all__ = ["Program", "analyze_paths", "main", "summarize_source"]

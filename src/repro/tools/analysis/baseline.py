@@ -1,0 +1,49 @@
+"""Baseline handling: grandfathered findings, checked in, diffable.
+
+``analysis-baseline.json`` at the tree root holds fingerprints of
+findings that are acknowledged but not yet fixed.  It ships **empty**
+— this repo fixes what the rules find — but the mechanism exists so a
+future rule can land gating before its last offender does, without a
+flag day.  Fingerprints hash rule, path and function plus the message
+kernel (never line numbers), so unrelated edits above a finding do not
+churn the file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+__all__ = ["BASELINE_NAME", "fingerprint", "load_baseline",
+           "write_baseline"]
+
+BASELINE_NAME = "analysis-baseline.json"
+
+
+def fingerprint(violation) -> str:
+    body = "|".join((violation.rule, violation.path, violation.message))
+    return hashlib.sha1(body.encode()).hexdigest()[:16]
+
+
+def load_baseline(path: Path) -> set:
+    """Fingerprints the baseline file grandfathers (empty if absent)."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return set()
+    return {f["fingerprint"] for f in data.get("findings", [])}
+
+
+def write_baseline(path: Path, violations) -> None:
+    findings = [
+        {
+            "fingerprint": fingerprint(v),
+            "rule": v.rule,
+            "path": v.path,
+            "message": v.message,
+        }
+        for v in violations
+    ]
+    path.write_text(json.dumps(
+        {"version": 1, "findings": findings}, indent=2) + "\n")

@@ -1,0 +1,95 @@
+"""The per-file summary cache: warm analyze runs never re-parse.
+
+One JSON file at the tree root (``.repro-analyze-cache.json``,
+gitignored) maps repo-relative paths to ``{mtime, sha256, summary}``.
+A file whose mtime matches is reused without even hashing; a touched
+but unchanged file (mtime moved, bytes identical) re-hashes once and
+keeps its summary.  Only genuinely edited files re-parse, and the
+interprocedural fixpoint — which is cheap — re-runs over the full
+summary set, so caching never changes results, only latency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.tools.analysis.summary import (
+    SCHEMA_VERSION,
+    summarize_source,
+)
+from repro.tools.source import load_source, relative_name
+
+__all__ = ["SummaryCache", "CACHE_NAME"]
+
+CACHE_NAME = ".repro-analyze-cache.json"
+
+
+class SummaryCache:
+    """Load-or-extract summaries with mtime+hash reuse."""
+
+    def __init__(self, root: Path, enabled: bool = True):
+        self.root = root
+        self.enabled = enabled
+        self.path = root / CACHE_NAME
+        self.entries = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        if enabled:
+            try:
+                data = json.loads(self.path.read_text())
+                if data.get("schema") == SCHEMA_VERSION:
+                    self.entries = data.get("files", {})
+            except (OSError, ValueError):
+                self.entries = {}
+
+    def load(self, path: Path):
+        """``(summary_dict | None, error_violation | None)`` for one
+        file, reusing the cached summary when the file is unchanged."""
+        rel = relative_name(path, self.root)
+        entry = self.entries.get(rel)
+        stat = None
+        if entry is not None:
+            try:
+                stat = path.stat()
+            except OSError:
+                entry = None
+            if entry is not None and stat.st_mtime_ns == entry["mtime"]:
+                self.hits += 1
+                return entry["summary"], None
+            if entry is not None:
+                digest = hashlib.sha256(path.read_bytes()).hexdigest()
+                if digest == entry["sha256"]:
+                    entry["mtime"] = stat.st_mtime_ns
+                    self._dirty = True
+                    self.hits += 1
+                    return entry["summary"], None
+        self.misses += 1
+        source = load_source(path, root=self.root)
+        if source.error is not None:
+            self.entries.pop(rel, None)
+            return None, source.error
+        summary = summarize_source(source)
+        try:
+            stat = stat or path.stat()
+            self.entries[rel] = {
+                "mtime": stat.st_mtime_ns,
+                "sha256": hashlib.sha256(
+                    source.text.encode()).hexdigest(),
+                "summary": summary,
+            }
+            self._dirty = True
+        except OSError:
+            pass
+        return summary, None
+
+    def save(self):
+        if not self.enabled or not self._dirty:
+            return
+        try:
+            self.path.write_text(json.dumps(
+                {"schema": SCHEMA_VERSION, "files": self.entries}))
+        except OSError:
+            pass  # a read-only checkout just stays cold

@@ -1,0 +1,85 @@
+"""``python -m repro analyze`` — the whole-program gate.
+
+Exit codes: 0 clean (modulo suppressions and baseline), 1 findings,
+2 empty scope (an analysis that checked nothing must not report a
+clean tree).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.tools.analysis.baseline import BASELINE_NAME, write_baseline
+from repro.tools.analysis.runner import analyze_paths
+from repro.tools.source import default_paths, iter_python_files, tree_root
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro analyze",
+        description="whole-program static analysis: call-graph rules "
+                    "RL008-RL011",
+    )
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories (default: src/repro, "
+                             "examples, benchmarks)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the stable finding schema for CI "
+                             "diffing")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the summary cache")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help=f"baseline file (default: {BASELINE_NAME} "
+                             "at the tree root)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline to grandfather every "
+                             "current finding, then exit 0")
+    args = parser.parse_args(argv)
+
+    root = tree_root()
+    paths = args.paths or default_paths(root)
+    if not iter_python_files(paths):
+        print("repro-analyze: no Python files in scope — nothing was "
+              "checked (refusing to report a clean tree)",
+              file=sys.stderr)
+        return 2
+    baseline = args.baseline or (root / BASELINE_NAME)
+    result = analyze_paths(paths, root, use_cache=not args.no_cache,
+                           baseline=baseline)
+
+    if args.write_baseline:
+        write_baseline(baseline, result.findings)
+        print(f"repro-analyze: baselined {len(result.findings)} "
+              f"finding(s) into {baseline}")
+        return 0
+
+    if args.as_json:
+        print(json.dumps(result.to_json(), indent=2))
+        return 1 if (result.findings or result.errors) else 0
+
+    for violation in result.errors + result.findings:
+        print(violation)
+    notes = [f"{result.files} files", f"{result.functions} functions",
+             f"{result.edges} call edges",
+             f"cache {result.cache.hits} hit/"
+             f"{result.cache.misses} miss"]
+    if result.suppressed:
+        notes.append(f"{result.suppressed} suppressed")
+    if result.baselined:
+        notes.append(f"{result.baselined} baselined")
+    total = len(result.findings) + len(result.errors)
+    if total:
+        print(f"repro-analyze: {total} finding(s) "
+              f"({', '.join(notes)})")
+        return 1
+    print(f"repro-analyze: clean ({', '.join(notes)})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Orchestration: paths -> summaries -> Program -> findings.
+
+This is the piece the CLI, the tests, and CI all call: collect the
+scope, load each file's summary through the cache, link the program,
+run the rules, then filter through ``allow[...]`` suppressions and the
+baseline.  The result object carries everything downstream consumers
+need — surviving findings, suppressed/grandfathered counts, and cache
+statistics — so text and ``--json`` rendering are pure formatting.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.tools.analysis.baseline import fingerprint, load_baseline
+from repro.tools.analysis.cache import SummaryCache
+from repro.tools.analysis.graph import Program
+from repro.tools.analysis.rules import run_rules
+from repro.tools.source import iter_python_files
+
+__all__ = ["AnalysisResult", "analyze_paths"]
+
+
+class AnalysisResult:
+    """Everything one analyze run produced."""
+
+    def __init__(self, findings, errors, suppressed, baselined,
+                 program, cache):
+        #: surviving violations, sorted by (path, line, rule)
+        self.findings = findings
+        #: RL000 read/parse failures (never suppressible)
+        self.errors = errors
+        self.suppressed = suppressed
+        self.baselined = baselined
+        self.program = program
+        self.cache = cache
+
+    @property
+    def files(self) -> int:
+        return len(self.program.modules)
+
+    @property
+    def functions(self) -> int:
+        return len(self.program.functions)
+
+    @property
+    def edges(self) -> int:
+        return sum(len(e) for e in self.program.edges.values())
+
+    def to_json(self) -> dict:
+        """The stable finding schema CI diffs (version 1)."""
+        return {
+            "version": 1,
+            "tool": "repro-analyze",
+            "findings": [
+                {
+                    "rule": v.rule,
+                    "path": v.path,
+                    "line": v.line,
+                    "message": v.message,
+                    "detail": v.detail,
+                    "fingerprint": fingerprint(v),
+                }
+                for v in self.errors + self.findings
+            ],
+            "stats": {
+                "files": self.files,
+                "functions": self.functions,
+                "call_edges": self.edges,
+                "suppressed": self.suppressed,
+                "baselined": self.baselined,
+                "cache_hits": self.cache.hits,
+                "cache_misses": self.cache.misses,
+            },
+        }
+
+
+def analyze_paths(paths, root: Path, use_cache: bool = True,
+                  baseline: Path = None) -> AnalysisResult:
+    """Run the whole-program analysis over *paths*."""
+    cache = SummaryCache(root, enabled=use_cache)
+    summaries, errors = [], []
+    for file in iter_python_files(paths):
+        summary, error = cache.load(file)
+        if error is not None:
+            errors.append(error)
+        elif summary is not None:
+            summaries.append(summary)
+    cache.save()
+
+    program = Program(summaries)
+    raw = run_rules(program)
+
+    allow_maps = {s["rel"]: s["allow"] for s in summaries}
+    grandfathered = load_baseline(baseline) if baseline else set()
+    findings, suppressed, baselined = [], 0, 0
+    for violation in raw:
+        allowed = allow_maps.get(violation.path, {}).get(
+            str(violation.line), [])
+        if violation.rule in allowed:
+            suppressed += 1
+        elif fingerprint(violation) in grandfathered:
+            baselined += 1
+        else:
+            findings.append(violation)
+    return AnalysisResult(findings, errors, suppressed, baselined,
+                          program, cache)

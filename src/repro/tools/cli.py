@@ -11,7 +11,8 @@ scenarios without writing simulation code:
 * ``kv``                  — the one-sided KV table vs a sockets KV
 * ``stats``               — traced run: per-layer latency + call census
 * ``trace``               — traced run: the raw span timeline
-* ``lint``                — repro-lint: check repo invariants (RL001-6)
+* ``lint``                — repro-lint: per-file invariants (RL001-7)
+* ``analyze``             — whole-program call-graph rules (RL008-11)
 
 All numbers printed are simulated time/throughput.
 """
@@ -432,6 +433,13 @@ def cmd_lint(args) -> int:
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["analyze"]:
+        # dispatched before argparse: the analyzer owns its own flags
+        # (argparse REMAINDER drops leading options like --json)
+        from repro.tools import analysis
+
+        return analysis.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="RStore reproduction: simulated-cluster demos",
@@ -489,6 +497,12 @@ def main(argv=None) -> int:
     p.add_argument("paths", nargs="*",
                    help="files or directories (default: src/repro, "
                         "examples, benchmarks)")
+
+    sub.add_parser(
+        "analyze",
+        help="whole-program call-graph analysis (RL008-RL011)",
+        add_help=False,
+    )
 
     args = parser.parse_args(argv)
     handler = globals()[f"cmd_{args.command}"]

@@ -57,7 +57,15 @@ import re
 import sys
 from pathlib import Path
 
-__all__ = ["Violation", "lint_file", "lint_paths", "main"]
+from repro.tools.source import (
+    Violation,
+    default_paths,
+    iter_python_files,
+    load_source,
+    tree_root,
+)
+
+__all__ = ["Violation", "default_paths", "lint_file", "lint_paths", "main"]
 
 #: path segments marking one-sided data-path packages (RL001 scope)
 DATA_PATH_SEGMENTS = {"coord", "graph", "sort", "kv", "txn"}
@@ -123,22 +131,6 @@ SERVER_OP_FORBIDDEN_CALLS = {"_master_call", "client_for", "connect_all"}
 
 _NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 _PREFIX_RE = re.compile(r"^[a-z0-9_.]+$")
-_ALLOW_RE = re.compile(r"#\s*repro-lint:\s*allow\[([A-Z0-9, ]+)\]")
-
-
-class Violation:
-    """One finding: a file, a line, a rule id, and what went wrong."""
-
-    __slots__ = ("path", "line", "rule", "message")
-
-    def __init__(self, path: str, line: int, rule: str, message: str):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule} {self.message}"
 
 
 def _attr_name(func) -> str:
@@ -394,6 +386,15 @@ class _Checker(ast.NodeVisitor):
             if isinstance(lead, ast.Constant) and isinstance(lead.value, str):
                 # an f-string: validate the leading constant prefix only
                 self._check_name_text(node, lead.value, full=False)
+            else:
+                # the f-string *starts* with a FormattedValue: the layer
+                # prefix is fully dynamic and cannot be checked at all —
+                # unverifiable unless an allow comment vouches for it
+                self.flag(node, "RL004",
+                          "instrument name is an f-string with a fully "
+                          "dynamic prefix — the layer segment cannot be "
+                          "verified; start with a constant "
+                          "'layer.' prefix or add an allow comment")
 
     def _check_name_text(self, node, text: str, full: bool):
         ok = (_NAME_RE.fullmatch(text) if full
@@ -409,54 +410,21 @@ class _Checker(ast.NodeVisitor):
                       f"{segment!r} (known: {', '.join(sorted(LAYERS))})")
 
 
-def _suppressed(violation: Violation, lines: list[str]) -> bool:
-    if not 1 <= violation.line <= len(lines):
-        return False
-    match = _ALLOW_RE.search(lines[violation.line - 1])
-    if match is None:
-        return False
-    allowed = {rule.strip() for rule in match.group(1).split(",")}
-    return violation.rule in allowed
-
-
 def lint_file(path: Path, root: Path = None) -> list[Violation]:
     """Lint one Python file; returns its surviving violations."""
-    try:
-        source = path.read_text()
-    except OSError as exc:
-        return [Violation(str(path), 1, "RL000", f"unreadable: {exc}")]
-    try:
-        rel = str(path.relative_to(root)) if root else str(path)
-    except ValueError:
-        rel = str(path)
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [Violation(rel, exc.lineno or 1, "RL000",
-                          f"syntax error: {exc.msg}")]
-    checker = _Checker(path, rel)
-    checker.visit(tree)
-    lines = source.splitlines()
-    return [v for v in checker.violations if not _suppressed(v, lines)]
-
-
-def default_paths(root: Path) -> list[Path]:
-    """The tree-wide lint scope: library, examples and benchmarks.
-
-    Tests are out of scope by default — ``tests/lint/`` holds fixture
-    files that *must* violate the rules.
-    """
-    return [p for p in (root / "src" / "repro", root / "examples",
-                        root / "benchmarks") if p.exists()]
+    source = load_source(path, root=root)
+    if source.error is not None:
+        return [source.error]
+    checker = _Checker(path, source.rel)
+    checker.visit(source.tree)
+    return [v for v in checker.violations if not source.suppressed(v)]
 
 
 def lint_paths(paths: list[Path], root: Path = None) -> list[Violation]:
     """Lint files and directories (recursively); returns all findings."""
     violations: list[Violation] = []
-    for path in paths:
-        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
-        for file in files:
-            violations.extend(lint_file(file, root=root))
+    for file in iter_python_files(paths):
+        violations.extend(lint_file(file, root=root))
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
     return violations
 
@@ -470,8 +438,15 @@ def main(argv=None) -> int:
                         help="files or directories (default: src/repro, "
                              "examples, benchmarks)")
     args = parser.parse_args(argv)
-    root = Path.cwd()
+    # the tree root comes from the package location, not the cwd: a
+    # `python -m repro lint` from anywhere still lints this repo
+    root = tree_root()
     paths = args.paths or default_paths(root)
+    if not iter_python_files(paths):
+        print("repro-lint: no Python files in scope — nothing was "
+              "checked (refusing to report a clean tree)",
+              file=sys.stderr)
+        return 2
     violations = lint_paths(paths, root=root)
     for violation in violations:
         print(violation)

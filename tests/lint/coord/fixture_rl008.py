@@ -1,0 +1,40 @@
+"""Must-flag / must-pass fixture for RL008 (interprocedural isolation).
+
+Lives under a ``coord`` directory so the data-path scoping applies,
+mirroring the RL001 fixture.  Markers sit on the first hop of each
+offending chain — the line the finding anchors to.
+"""
+
+
+class SlotStore:
+    def __init__(self, client):
+        self.client = client
+
+    # seed: the direct control call lives in a control-named helper,
+    # which is RL001's contract — RL008 has nothing to say here
+    def _open_view(self):
+        mapping = yield from self.client.map("kv.slots")
+        return mapping
+
+    # an innocuous-named middle hop: itself a 1-hop chain
+    def _view(self):
+        mapping = yield from self._open_view()  # -> RL008
+        return mapping
+
+    def read_slot(self, index):
+        mapping = yield from self._open_view()  # -> RL008
+        return (yield from mapping.read(index * 64, 64))
+
+    def read_slot_deep(self, index):
+        mapping = yield from self._view()  # -> RL008
+        return (yield from mapping.read(index * 64, 64))
+
+    # must-pass: a control-named driver may orchestrate setup hops
+    def open_slots(self):
+        mapping = yield from self._view()
+        return mapping
+
+    # must-pass: steady state done right — the mapped state is passed
+    # in, nothing here can reach the master
+    def read_hot(self, mapping, index):
+        return (yield from mapping.read(index * 64, 64))

@@ -9,3 +9,5 @@ def measure(metrics, tracer, n):
     with tracer.span("data.SortPhase", kind="data"):  # -> RL004
         pass
     metrics.counter("kv.get_total").add(1)  # fine: known layer
+    metrics.counter(f"{n}_total").add(1)              # -> RL004
+    metrics.gauge(f"txn.{n}_inflight").set(n)  # fine: constant prefix

@@ -1,0 +1,51 @@
+"""Must-flag / must-pass fixture for RL009 (future-escape).
+
+RL003 only sees a ``*_async`` result dropped on the spot; RL009 chases
+the future through assignments and helper returns.  Markers sit on
+the line each finding anchors to.
+"""
+
+
+def local_shelved(client):
+    fut = yield from client.read_async(0, 64)  # -> RL009
+    return None
+
+
+def _issue(client):
+    fut = yield from client.read_async(0, 64)
+    return fut
+
+
+def helper_discarded(client):
+    _issue(client)  # -> RL009
+    yield from client.flush()
+
+
+def helper_shelved(client):
+    fut = _issue(client)  # -> RL009
+    yield from client.flush()
+
+
+def _issue_indirect(client):
+    return _issue(client)
+
+
+def helper_shelved_deep(client):
+    fut = _issue_indirect(client)  # -> RL009
+    yield from client.flush()
+
+
+# must-pass: the future is waited
+def consumed(client):
+    fut = _issue(client)
+    return (yield from fut.wait())
+
+
+# must-pass: a closure reading the future counts as consumption
+def consumed_by_closure(client):
+    fut = _issue(client)
+
+    def drain():
+        return fut.result()
+
+    return drain

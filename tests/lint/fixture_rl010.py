@@ -1,0 +1,80 @@
+"""Must-flag / must-pass fixture for RL010 (static lock order).
+
+Two inverted pairs: alpha/beta directly, gamma/delta with one side of
+the inversion hidden behind a helper call made while holding.  The
+rule reports every edge on a cycle, so both sides carry markers.  The
+mu/nu pair is acquired in the same order everywhere — must pass.
+"""
+
+
+class RemoteLock:
+    """Stub with the coordination-lock verbs the summary tracks."""
+
+    def __init__(self, client, name):
+        self.client = client
+        self.name = name
+
+    def acquire(self):
+        yield None
+
+    def release(self):
+        yield None
+
+
+def lock_ab(client):
+    a = RemoteLock(client, "alpha")
+    b = RemoteLock(client, "beta")
+    yield from a.acquire()
+    yield from b.acquire()  # -> RL010
+    yield from b.release()
+    yield from a.release()
+
+
+def lock_ba(client):
+    a = RemoteLock(client, "alpha")
+    b = RemoteLock(client, "beta")
+    yield from b.acquire()
+    yield from a.acquire()  # -> RL010
+    yield from a.release()
+    yield from b.release()
+
+
+def _take_delta(client):
+    d = RemoteLock(client, "delta")
+    yield from d.acquire()
+    yield from d.release()
+
+
+def hold_gamma_call_delta(client):
+    g = RemoteLock(client, "gamma")
+    yield from g.acquire()
+    yield from _take_delta(client)  # -> RL010
+    yield from g.release()
+
+
+def lock_dg(client):
+    d = RemoteLock(client, "delta")
+    g = RemoteLock(client, "gamma")
+    yield from d.acquire()
+    yield from g.acquire()  # -> RL010
+    yield from g.release()
+    yield from d.release()
+
+
+# must-pass: same order at every site — an edge, but no cycle
+def lock_mu_nu(client):
+    m = RemoteLock(client, "mu")
+    n = RemoteLock(client, "nu")
+    yield from m.acquire()
+    yield from n.acquire()
+    yield from n.release()
+    yield from m.release()
+
+
+def lock_mu_nu_again(client):
+    m = RemoteLock(client, "mu")
+    n = RemoteLock(client, "nu")
+    yield from m.acquire()
+    yield from n.acquire()
+    yield from n.release()
+    yield from m.release()

@@ -88,3 +88,98 @@ def test_suppression_comment_silences_one_line():
 def test_violation_renders_path_line_rule():
     v = lint.Violation("a/b.py", 7, "RL002", "wall-clock read")
     assert str(v) == "a/b.py:7: RL002 wall-clock read"
+
+
+def test_cli_exits_2_on_empty_scope(tmp_path, capsys):
+    assert lint.main([str(tmp_path)]) == 2
+    assert "nothing was checked" in capsys.readouterr().err
+
+
+# -- internals: the helpers the analysis package also leans on -------------
+
+def test_allow_comment_parses_multiple_rules():
+    from repro.tools.source import allowed_rules
+
+    assert allowed_rules("x = 1  # repro-lint: allow[RL001, RL005]") \
+        == {"RL001", "RL005"}
+    assert allowed_rules("# repro-lint: allow[RL010,RL011]") \
+        == {"RL010", "RL011"}
+    assert allowed_rules("x = 1  # a plain comment") == set()
+
+
+def test_retrying_trys_sees_nested_try_except_finally():
+    import ast
+    import textwrap
+
+    tree = ast.parse(textwrap.dedent(
+        """
+        while True:
+            try:
+                try:
+                    work()
+                except ValueError:
+                    continue
+                finally:
+                    cleanup()
+            except KeyError:
+                pass
+            try:
+                step()
+            finally:
+                try:
+                    flush()
+                except OSError:
+                    continue
+        """
+    ))
+    loop = tree.body[0]
+    retrying = list(lint._retrying_trys(loop.body))
+    # the inner continue-on-ValueError try (behind an outer try whose
+    # own handlers do not retry) and the continue-on-OSError try
+    # buried in a finally block; never the two non-retrying outer trys
+    assert len(retrying) == 2
+    calls = {stmt.body[0].value.func.id for stmt in retrying}
+    assert calls == {"work", "flush"}
+
+
+def _lint_snippet(tmp_path, relpath: str, text: str):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return lint.lint_paths([path])
+
+
+def test_rl006_flags_endpoint_deep_in_attribute_chain(tmp_path):
+    found = _lint_snippet(
+        tmp_path, "registry.py",
+        "def dial(cluster):\n"
+        "    return cluster.cfg.master_service.host\n")
+    assert [(v.line, v.rule) for v in found] == [(2, "RL006")]
+
+
+def test_rl006_exempts_the_shard_layer_and_master(tmp_path):
+    for name in ("master.py", "shard_router.py", "config.py"):
+        found = _lint_snippet(
+            tmp_path, name,
+            f"def dial_{name.split('.')[0]}(cfg):\n"
+            "    return cfg.master_service\n")
+        assert not found, name
+
+
+def test_rl007_flags_control_dial_through_attribute_chain(tmp_path):
+    found = _lint_snippet(
+        tmp_path, "datapath/server_probe.py",
+        "def execute(server, args):\n"
+        "    return server.node.rpc.client_for(0)\n")
+    assert [(v.line, v.rule) for v in found] == [(2, "RL007")]
+
+
+def test_rl007_scope_is_server_modules_under_datapath_only(tmp_path):
+    bad = ("from repro.rpc.frames import Frame\n"
+           "def execute(server, args):\n"
+           "    return Frame\n")
+    found = _lint_snippet(tmp_path, "datapath/server_sum.py", bad)
+    assert [(v.line, v.rule) for v in found] == [(1, "RL007")]
+    # same text outside the server-op scope: not RL007's business
+    assert not _lint_snippet(tmp_path, "datapath/client_sum.py", bad)
+    assert not _lint_snippet(tmp_path, "elsewhere/server_sum.py", bad)
